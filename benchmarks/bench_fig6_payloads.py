@@ -1,0 +1,48 @@
+"""Fig. 6 (right): network utilization and latency vs payload size.
+
+Paper: for payloads 32 B - 8 kB at the 64 ms cycle, ZugChain's latency
+rises by 37 % across the sweep while the baseline's stays 1.6-2.5x higher,
+and the baseline's network utilization stays ~4x.
+"""
+
+from repro.analysis import format_table, ratio
+
+from benchmarks._sweeps import PAYLOAD_BYTES, payload_sweep
+
+
+def bench_fig6_payloads(benchmark):
+    zugchain = benchmark.pedantic(lambda: payload_sweep("zugchain"),
+                                  rounds=1, iterations=1)
+    baseline = payload_sweep("baseline")
+
+    rows = []
+    for zc, base in zip(zugchain, baseline):
+        rows.append([
+            f"{zc.payload_bytes} B",
+            f"{zc.network_utilization * 100:.3f} %",
+            f"{base.network_utilization * 100:.3f} %",
+            f"{ratio(base.network_utilization, zc.network_utilization):.1f}x",
+            f"{zc.mean_latency_s * 1000:.2f} ms",
+            f"{base.mean_latency_s * 1000:.2f} ms",
+            f"{ratio(base.mean_latency_s, zc.mean_latency_s):.1f}x",
+        ])
+    print()
+    print(format_table(
+        ["payload", "ZC net", "base net", "net ratio",
+         "ZC latency", "base latency", "lat ratio"],
+        rows, title="Fig. 6 (right): network utilization and latency vs payload size",
+    ))
+
+    # -- shape assertions -----------------------------------------------------
+    # ZugChain latency grows moderately with payload (paper: +37 % over the
+    # sweep), never explodes.
+    growth = zugchain[-1].mean_latency_s / zugchain[0].mean_latency_s
+    assert 1.02 < growth < 2.0, f"ZC latency growth {growth:.2f} out of range"
+    # Baseline latency stays a small multiple of ZugChain's at every size.
+    for zc, base in zip(zugchain, baseline):
+        factor = ratio(base.mean_latency_s, zc.mean_latency_s)
+        assert 1.3 < factor < 8.0, f"baseline factor {factor:.1f} at {zc.payload_bytes} B"
+        assert 3.0 < ratio(base.network_utilization, zc.network_utilization) < 7.0
+    # Network utilization grows with payload for both systems.
+    assert zugchain[-1].network_utilization > zugchain[0].network_utilization
+    assert baseline[-1].network_utilization > baseline[0].network_utilization

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Byzantine resilience walkthrough (the Fig. 9 attacks, narrated).
+
+Runs three deployments side by side:
+
+1. a clean one;
+2. one where a faulty backup fabricates a request every bus cycle —
+   data that never appeared on the bus, injected to bloat the log and
+   degrade performance (bounded by the per-node open-request limit);
+3. one where a faulty *primary* delays every preprepare by 260 ms — past
+   the soft timeout, so backups broadcast and forward, but well under the
+   point where the hard timeout would depose it.
+
+Run:  python examples/byzantine_resilience.py
+"""
+
+from repro.analysis import format_table
+from repro.faults import ByzantineSpec
+from repro.scenarios import ScenarioConfig, SimulatedCluster
+
+
+def run(label: str, **kwargs):
+    cluster = SimulatedCluster(ScenarioConfig(system="zugchain", **kwargs))
+    result = cluster.run(duration_s=30.0, warmup_s=3.0)
+    return label, cluster, result
+
+
+def main() -> None:
+    print("Running three 30 s deployments (clean / fabricating backup / "
+          "delaying primary)...\n")
+    runs = [
+        run("clean"),
+        run("fabricating backup",
+            byzantine={"node-3": ByzantineSpec(fabricate_per_cycle=1.0)}),
+        run("delaying primary",
+            byzantine={"node-0": ByzantineSpec(preprepare_delay_s=0.260)}),
+    ]
+
+    rows = []
+    for label, cluster, result in runs:
+        rows.append([
+            label,
+            f"{result.mean_latency_s * 1000:.1f} ms",
+            f"{result.cpu_utilization * 100:.1f} %",
+            f"{result.network_utilization * 100:.2f} %",
+            f"{result.requests_logged}",
+            f"{result.view_changes}",
+        ])
+    print(format_table(
+        ["scenario", "latency", "cpu", "net", "logged", "view changes"], rows,
+        title="Effect of Byzantine behaviour (cf. Fig. 9)",
+    ))
+
+    _, fab_cluster, fab_result = runs[1]
+    fabricated = fab_cluster.nodes["node-3"].fabricated
+    limited = fab_cluster.nodes["node-0"].layer.stats.broadcasts_rate_limited
+    print(f"\nfabricating backup injected {fabricated} requests; "
+          f"the primary rate-limited {limited} of its broadcasts "
+          f"(open-request cap, §III-C fault case iii)")
+    print("every fabricated entry in the log carries node-3's signature — "
+          "post-operational analysis attributes the garbage to its origin")
+
+    _, delay_cluster, delay_result = runs[2]
+    soft = sum(delay_cluster.nodes[i].layer.stats.soft_timeouts
+               for i in delay_cluster.ids)
+    print(f"\ndelaying primary triggered {soft} soft timeouts; forwarding kept "
+          f"all {delay_result.requests_logged} requests flowing with "
+          f"{delay_result.view_changes} view changes (delay < hard timeout)")
+    print("the soft timeout is what bounds this attack's damage — "
+          "see benchmarks/bench_ablations.py for the same run without it")
+
+
+if __name__ == "__main__":
+    main()

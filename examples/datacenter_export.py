@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The export lifecycle: LTE upload, mutual verification, on-train pruning.
+
+Two mutually distrustful railway companies each run a data center.  One of
+them initiates an export round (Fig. 4): it reads the latest 2f+1-signed
+checkpoint from the replicas, receives the full blocks from one randomly
+chosen replica over the 8.5 Mbit/s LTE uplink, verifies the chain, syncs
+its peer, and both authorize the delete that lets the train prune its
+chain.  A second round afterwards shows the export is incremental.
+
+Run:  python examples/datacenter_export.py
+"""
+
+from repro.export.scenario import ExportScenario, ExportScenarioConfig
+
+
+def main() -> None:
+    config = ExportScenarioConfig(
+        n_blocks=1000,          # ~10 minutes of operation at a 64 ms cycle
+        n_datacenters=2,
+        delete_quorum=2,        # both companies must sign off
+    )
+    print(f"Seeding {config.n_blocks} blocks of juridical data on 4 replicas...")
+    scenario = ExportScenario(config)
+
+    replica = scenario.handlers["node-0"]
+    print(f"on-train chain before export: heights "
+          f"{replica.chain.base_height}..{replica.chain.height} "
+          f"({replica.chain.total_size_bytes() / 1e6:.2f} MB)")
+
+    print("\n--- Export round 1 (initiated by dc-0) ---")
+    round1 = scenario.run_export("dc-0")
+    print(f"full blocks requested from: {round1.full_from}")
+    print(f"read   : {round1.read_s:8.2f} s  "
+          f"({round1.read_s / round1.total_s * 100:.0f} % — waiting for 2f+1 "
+          f"replies over LTE dominates, as in Table II)")
+    print(f"verify : {round1.verify_s:8.3f} s")
+    print(f"delete : {round1.delete_s:8.2f} s")
+    print(f"total  : {round1.total_s:8.2f} s for {round1.blocks_exported} blocks")
+
+    scenario.kernel.run(max_events=500_000)  # drain remaining sync/ack traffic
+
+    for dc_id, dc in scenario.datacenters.items():
+        dc.archive.verify()
+        print(f"{dc_id}: archive height {dc.archive.height}, integrity OK")
+
+    print("\non-train chains after pruning:")
+    for replica_id, handler in scenario.handlers.items():
+        chain = handler.chain
+        cert = chain.prune_certificate
+        signers = sorted(cert.delete_signatures) if cert else []
+        print(f"  {replica_id}: base {chain.base_height}, head {chain.height}, "
+              f"pruned under delete cert signed by {signers}")
+
+    print("\n--- Export round 2 (no new blocks): must be a fast no-op ---")
+    round2 = scenario.run_export("dc-0")
+    print(f"total {round2.total_s:.2f} s, {round2.blocks_exported} blocks exported")
+
+    print("\nThe archives are the permanent record; the train now stores only "
+          "the window since the last export, with the last exported block as "
+          "the verifiable base of the pruned chain (§III-D).")
+
+
+if __name__ == "__main__":
+    main()

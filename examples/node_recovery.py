@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Node recovery: a recorder rejoins after downtime and catches up.
+
+A maintenance power-cycle takes node-3 offline for a quarter of a minute.
+During the outage the remaining three nodes (still 2f+1) keep recording.
+When node-3 returns, it notices stable checkpoints far beyond its own
+chain — vouched for by f+1 distinct peers, so a single liar can't trigger
+a bogus transfer — requests the missing, checkpoint-verified chain segment
+from a peer, fast-forwards, and resumes ordering participation (§III-D's
+"transferring a checkpoint to another replica", as a live protocol).
+
+Run:  python examples/node_recovery.py
+"""
+
+from repro.scenarios import ScenarioConfig, SimulatedCluster
+
+
+def main() -> None:
+    cluster = SimulatedCluster(ScenarioConfig(system="zugchain", retention_s=0.0))
+
+    print("t=6 s   node-3 loses power (maintenance).")
+    cluster.kernel.schedule(6.0, lambda: cluster.crash_node("node-3"))
+    print("t=22 s  node-3 comes back online.")
+    cluster.kernel.schedule(22.0, lambda: cluster.recover_node("node-3"))
+
+    print("\nRunning 45 s of operation...")
+    cluster.run(duration_s=45.0, warmup_s=0.0)
+
+    survivor = cluster.nodes["node-0"]
+    recovered = cluster.nodes["node-3"]
+
+    print(f"\nhealthy chain : height {survivor.chain.height}")
+    print(f"node-3 chain  : height {recovered.chain.height} "
+          f"(was ~{int(6.0 / 0.064 / 10)} blocks at the outage)")
+    print(f"state syncs   : {recovered.statesync.syncs_completed} completed, "
+          f"{recovered.statesync.syncs_rejected} rejected")
+
+    recovered.chain.verify()
+    common = min(recovered.chain.height, survivor.chain.height)
+    match = (recovered.chain.block_at(common).block_hash
+             == survivor.chain.block_at(common).block_hash)
+    print(f"chain integrity OK; head agreement at height {common}: {match}")
+
+    print(f"\nafter recovery node-3 decided {recovered.replica.stats.decided} "
+          f"requests through consensus and logged "
+          f"{recovered.layer.stats.logged} entries — a full participant again.")
+    print("No event recorded during the outage was lost: the other 2f+1 "
+          "nodes carried the log, and the transfer delivered it verified.")
+
+
+if __name__ == "__main__":
+    main()

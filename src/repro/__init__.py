@@ -1,0 +1,49 @@
+"""ZugChain reproduction: blockchain-based juridical data recording for railways.
+
+A from-scratch Python implementation of *ZugChain* (Rüsch et al., DSN
+2022): a permissioned, PBFT-based blockchain that replaces a train's
+centralized juridical recording unit, plus every substrate the paper's
+evaluation depends on — an MVB bus simulator, a deterministic
+discrete-event network/CPU model standing in for the M-COM testbed, the
+traditional-client PBFT baseline, and the secure data-center export
+protocol.
+
+Quick start::
+
+    from repro import ScenarioConfig, SimulatedCluster
+
+    cluster = SimulatedCluster(ScenarioConfig(system="zugchain"))
+    result = cluster.run(duration_s=60.0, warmup_s=5.0)
+    print(result.summary_row())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+scripts that regenerate every figure and table of the paper's evaluation.
+"""
+
+from repro.scenarios import ScenarioConfig, ScenarioResult, SimulatedCluster
+from repro.core import ZugChainConfig, ZugChainLayer, ZugChainNode, BaselineNode
+from repro.bft import BftConfig, PbftReplica
+from repro.chain import Block, Blockchain, BlockStore
+from repro.export.scenario import ExportScenario, ExportScenarioConfig
+from repro.jru import check_requirements, survival_probability
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SimulatedCluster",
+    "ZugChainConfig",
+    "ZugChainLayer",
+    "ZugChainNode",
+    "BaselineNode",
+    "BftConfig",
+    "PbftReplica",
+    "Block",
+    "Blockchain",
+    "BlockStore",
+    "ExportScenario",
+    "ExportScenarioConfig",
+    "check_requirements",
+    "survival_probability",
+]

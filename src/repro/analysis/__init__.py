@@ -1,0 +1,5 @@
+"""Result analysis and report formatting for the benchmark harness."""
+
+from repro.analysis.report import format_table, ratio, format_ratio_row, Sweep
+
+__all__ = ["format_table", "ratio", "format_ratio_row", "Sweep"]

@@ -1,0 +1,66 @@
+"""ASCII tables and sweep bookkeeping for the figure/table benchmarks.
+
+Each benchmark regenerates the rows/series the paper reports; these
+helpers keep the output uniform so EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio (0 when the denominator is 0)."""
+    return numerator / denominator if denominator else 0.0
+
+
+def format_ratio_row(label: str, baseline: float, zugchain: float, unit: str = "") -> list[str]:
+    """One comparison row: baseline, zugchain, and the baseline/ZC factor."""
+    return [
+        label,
+        f"{baseline:.3f}{unit}",
+        f"{zugchain:.3f}{unit}",
+        f"{ratio(baseline, zugchain):.2f}x",
+    ]
+
+
+@dataclass
+class Sweep:
+    """Accumulates (x, metrics) points of one experiment series."""
+
+    name: str
+    x_label: str
+    points: list[tuple[float, dict[str, float]]] = field(default_factory=list)
+
+    def add(self, x: float, **metrics: float) -> None:
+        self.points.append((x, dict(metrics)))
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        return [(x, metrics[metric]) for x, metrics in self.points if metric in metrics]
+
+    def to_table(self, metrics: list[str], fmt: str = "{:.3f}") -> str:
+        headers = [self.x_label] + metrics
+        rows = []
+        for x, values in self.points:
+            row = [f"{x:g}"] + [
+                fmt.format(values[m]) if m in values else "-" for m in metrics
+            ]
+            rows.append(row)
+        return format_table(headers, rows, title=self.name)

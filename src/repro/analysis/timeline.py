@@ -1,0 +1,97 @@
+"""Investigator tooling: decode a recorded chain back into signal timelines.
+
+This is the "lab analysis" consumer the paper assumes downstream of export
+(§III-B): given a verified blockchain and the NSDB, reconstruct per-signal
+time series, event lists (emergency brakes, ATP interventions, door
+cycles), and per-origin statistics for attribution of fabricated data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.bus.nsdb import Nsdb
+from repro.bus.reception import decode_cycle_payload
+from repro.chain.blockchain import Blockchain
+
+
+@dataclass(frozen=True)
+class SignalSample:
+    """One decoded signal observation from the juridical record."""
+
+    bus_cycle: int
+    recv_timestamp_us: int
+    signal_name: str
+    value: object
+    valid_checksum: bool
+    origin_node: str
+    source_link: str
+    block_height: int
+
+
+@dataclass
+class Timeline:
+    """Decoded record: samples per signal plus bookkeeping."""
+
+    samples: dict[str, list[SignalSample]] = field(default_factory=dict)
+    unknown_ports: Counter = field(default_factory=Counter)
+    origins: Counter = field(default_factory=Counter)
+    invalid_checksums: int = 0
+    requests_decoded: int = 0
+
+    def signal(self, name: str) -> list[SignalSample]:
+        return self.samples.get(name, [])
+
+    def signal_names(self) -> list[str]:
+        return sorted(self.samples)
+
+    def events_where(self, name: str, predicate) -> list[SignalSample]:
+        return [s for s in self.signal(name) if predicate(s.value)]
+
+    def active_cycles(self, name: str) -> list[int]:
+        """Bus cycles where a boolean signal was asserted."""
+        return sorted({s.bus_cycle for s in self.events_where(name, bool)})
+
+
+def extract_timeline(chain: Blockchain, nsdb: Nsdb) -> Timeline:
+    """Decode every stored block of ``chain`` into a :class:`Timeline`.
+
+    Verifies chain integrity first — an investigator never reads an
+    unverified record.  Headers-only blocks (emergency pruning) are
+    skipped; their absence is visible via the height gaps in samples.
+    """
+    chain.verify()
+    timeline = Timeline()
+    for height in range(chain.base_height + 1, chain.height + 1):
+        if not chain.body_available(height):
+            continue
+        for signed in chain.block_at(height).requests:
+            timeline.requests_decoded += 1
+            timeline.origins[signed.node_id] += 1
+            request = signed.request
+            for port, raw, valid in decode_cycle_payload(request.payload):
+                if not valid:
+                    timeline.invalid_checksums += 1
+                if not nsdb.has_port(port):
+                    timeline.unknown_ports[port] += 1
+                    continue
+                definition = nsdb.by_port(port)
+                try:
+                    value = definition.decode_value(raw)
+                except Exception:
+                    # Corrupted width: keep the raw bytes for the record.
+                    value = raw
+                timeline.samples.setdefault(definition.name, []).append(SignalSample(
+                    bus_cycle=request.bus_cycle,
+                    recv_timestamp_us=request.recv_timestamp_us,
+                    signal_name=definition.name,
+                    value=value,
+                    valid_checksum=valid,
+                    origin_node=signed.node_id,
+                    source_link=request.source_link,
+                    block_height=height,
+                ))
+    for samples in timeline.samples.values():
+        samples.sort(key=lambda s: (s.bus_cycle, s.recv_timestamp_us))
+    return timeline

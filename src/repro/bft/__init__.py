@@ -1,0 +1,45 @@
+"""Byzantine fault tolerant agreement: a full PBFT implementation.
+
+Comprises the ordering (preprepare/prepare/commit), checkpointing, and view
+change subprotocols of Castro & Liskov's PBFT, exposing exactly the
+interface of Table I that the ZugChain layer builds on:
+
+* downcalls — ``propose(signed_request)`` and ``suspect(node_id)``;
+* upcalls — ``decide(signed_request, sn)`` and ``new_primary(node_id)``.
+
+A traditional PBFT *client* (used by the paper's baseline, where every node
+forwards every bus request to the primary) lives in
+:mod:`repro.bft.client`.
+"""
+
+from repro.bft.config import BftConfig
+from repro.bft.messages import (
+    Checkpoint,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    PreparedProof,
+    ViewChange,
+)
+from repro.bft.checkpoint import CheckpointCertificate
+from repro.bft.replica import PbftReplica
+from repro.bft.client import PbftClient, ClientRequestWrapper
+from repro.bft.env import Env, RecordingEnv
+
+__all__ = [
+    "BftConfig",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "Checkpoint",
+    "ViewChange",
+    "NewView",
+    "PreparedProof",
+    "CheckpointCertificate",
+    "PbftReplica",
+    "PbftClient",
+    "ClientRequestWrapper",
+    "Env",
+    "RecordingEnv",
+]

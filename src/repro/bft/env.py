@@ -1,0 +1,120 @@
+"""The sans-IO environment interface protocol state machines run against.
+
+Every protocol component (PBFT replica, ZugChain layer, export handler,
+data center) performs all side effects through an :class:`Env`:
+
+* sending and broadcasting messages,
+* arming and cancelling timers,
+* reading the clock.
+
+The simulation runtime (:mod:`repro.runtime`) implements the interface on
+the discrete-event kernel with CPU and network cost accounting; unit tests
+use :class:`RecordingEnv` to drive state machines directly and assert on
+their outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+
+class TimerHandle(Protocol):
+    """Cancellable timer."""
+
+    def cancel(self) -> None: ...
+
+    @property
+    def active(self) -> bool: ...
+
+
+class Env(Protocol):
+    """Side-effect interface for protocol state machines."""
+
+    @property
+    def node_id(self) -> str: ...
+
+    def now(self) -> float: ...
+
+    def send(self, dst: str, message: Any) -> None: ...
+
+    def broadcast(self, message: Any) -> None: ...
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle: ...
+
+
+class _RecordedTimer:
+    """Timer handle used by :class:`RecordingEnv`; fired manually by tests."""
+
+    def __init__(self, env: "RecordingEnv", delay: float, callback: Callable[[], None]) -> None:
+        self._env = env
+        self.deadline = env.now() + delay
+        self.callback = callback
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def cancel(self) -> None:
+        self._active = False
+
+    def fire(self) -> None:
+        if self._active:
+            self._active = False
+            self.callback()
+
+
+@dataclass
+class RecordingEnv:
+    """Test double: records sends/broadcasts, exposes timers for manual firing."""
+
+    node_id: str = "node-0"
+    _now: float = 0.0
+    sent: list[tuple[str, Any]] = field(default_factory=list)
+    broadcasts: list[Any] = field(default_factory=list)
+    timers: list[_RecordedTimer] = field(default_factory=list)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        self._now += dt
+
+    def send(self, dst: str, message: Any) -> None:
+        self.sent.append((dst, message))
+
+    def broadcast(self, message: Any) -> None:
+        self.broadcasts.append(message)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> _RecordedTimer:
+        timer = _RecordedTimer(self, delay, callback)
+        self.timers.append(timer)
+        return timer
+
+    # -- test helpers -----------------------------------------------------------
+
+    def active_timers(self) -> list[_RecordedTimer]:
+        return [timer for timer in self.timers if timer.active]
+
+    def fire_next_timer(self) -> None:
+        pending = sorted(self.active_timers(), key=lambda t: t.deadline)
+        if not pending:
+            raise AssertionError("no active timer to fire")
+        timer = pending[0]
+        self._now = max(self._now, timer.deadline)
+        timer.fire()
+
+    def fire_all_timers(self) -> None:
+        while self.active_timers():
+            self.fire_next_timer()
+
+    def sent_of_type(self, message_type: type) -> list[tuple[str, Any]]:
+        return [(dst, msg) for dst, msg in self.sent if isinstance(msg, message_type)]
+
+    def broadcasts_of_type(self, message_type: type) -> list[Any]:
+        return [msg for msg in self.broadcasts if isinstance(msg, message_type)]
+
+    def clear(self) -> None:
+        self.sent.clear()
+        self.broadcasts.clear()

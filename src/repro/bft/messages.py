@@ -1,0 +1,346 @@
+"""PBFT protocol messages with byte-accurate encodings and signatures.
+
+All messages exchanged by ZugChain nodes are signed with asymmetric
+cryptography (§III-B).  Every type provides:
+
+* ``signing_payload()`` — the exact bytes covered by the signature;
+* ``signed(keypair)``   — a signed copy (messages are immutable);
+* ``verify(keystore)``  — signature check against the registered key;
+* ``encode()`` / ``decode()`` and ``encoded_size()`` — wire accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import cached_property
+
+from repro.crypto.hashing import DOMAIN_CHECKPOINT, sha256
+from repro.crypto.keys import SIGNATURE_SIZE, KeyPair, KeyStore
+from repro.wire.codec import Reader, Writer
+from repro.wire.messages import SignedRequest
+
+_UNSIGNED = b"\x00" * SIGNATURE_SIZE
+
+_DOMAIN_PREPREPARE = b"pbft/preprepare"
+_DOMAIN_PREPARE = b"pbft/prepare"
+_DOMAIN_COMMIT = b"pbft/commit"
+_DOMAIN_CHECKPOINT = b"pbft/checkpoint"
+_DOMAIN_VIEWCHANGE = b"pbft/viewchange"
+_DOMAIN_NEWVIEW = b"pbft/newview"
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary's ordering proposal carrying the full signed request."""
+
+    view: int
+    seq: int
+    request: SignedRequest
+    primary_id: str
+    signature: bytes = _UNSIGNED
+
+    @cached_property
+    def digest(self) -> bytes:
+        return self.request.digest
+
+    def signing_payload(self) -> bytes:
+        return sha256(
+            self.view.to_bytes(8, "big"),
+            self.seq.to_bytes(8, "big"),
+            self.digest,
+            self.primary_id.encode(),
+            domain=_DOMAIN_PREPREPARE,
+        )
+
+    def signed(self, keypair: KeyPair) -> "PrePrepare":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.primary_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.view)
+        writer.put_uint(self.seq)
+        writer.put_bytes(self.request.encode())
+        writer.put_str(self.primary_id)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PrePrepare":
+        reader = Reader(data)
+        view = reader.get_uint()
+        seq = reader.get_uint()
+        request = SignedRequest.decode(reader.get_bytes())
+        primary_id = reader.get_str()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(view=view, seq=seq, request=request, primary_id=primary_id, signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class _PhaseVote:
+    """Shared shape of Prepare and Commit: a vote on (view, seq, digest)."""
+
+    view: int
+    seq: int
+    digest: bytes
+    replica_id: str
+    signature: bytes = _UNSIGNED
+
+    _DOMAIN = b"pbft/vote"
+
+    def signing_payload(self) -> bytes:
+        return sha256(
+            self.view.to_bytes(8, "big"),
+            self.seq.to_bytes(8, "big"),
+            self.digest,
+            self.replica_id.encode(),
+            domain=self._DOMAIN,
+        )
+
+    def signed(self, keypair: KeyPair):
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.replica_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.view)
+        writer.put_uint(self.seq)
+        writer.put_fixed(self.digest, 32)
+        writer.put_str(self.replica_id)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes):
+        reader = Reader(data)
+        view = reader.get_uint()
+        seq = reader.get_uint()
+        digest = reader.get_fixed(32)
+        replica_id = reader.get_str()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(view=view, seq=seq, digest=digest, replica_id=replica_id, signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class Prepare(_PhaseVote):
+    _DOMAIN = _DOMAIN_PREPARE
+
+
+@dataclass(frozen=True)
+class Commit(_PhaseVote):
+    _DOMAIN = _DOMAIN_COMMIT
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Signed application snapshot reference: one per block (§III-C).
+
+    ``state_digest`` commits to the block hash and the chain state so a
+    stable checkpoint certificate proves the block's inclusion in the
+    blockchain — the export protocol's verification anchor.
+    """
+
+    seq: int
+    block_height: int
+    block_hash: bytes
+    state_digest: bytes
+    replica_id: str
+    signature: bytes = _UNSIGNED
+
+    def signing_payload(self) -> bytes:
+        return sha256(
+            self.seq.to_bytes(8, "big"),
+            self.block_height.to_bytes(8, "big"),
+            self.block_hash,
+            self.state_digest,
+            self.replica_id.encode(),
+            domain=_DOMAIN_CHECKPOINT,
+        )
+
+    def signed(self, keypair: KeyPair) -> "Checkpoint":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.replica_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.seq)
+        writer.put_uint(self.block_height)
+        writer.put_fixed(self.block_hash, 32)
+        writer.put_fixed(self.state_digest, 32)
+        writer.put_str(self.replica_id)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Checkpoint":
+        reader = Reader(data)
+        seq = reader.get_uint()
+        block_height = reader.get_uint()
+        block_hash = reader.get_fixed(32)
+        state_digest = reader.get_fixed(32)
+        replica_id = reader.get_str()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(seq=seq, block_height=block_height, block_hash=block_hash,
+                   state_digest=state_digest, replica_id=replica_id, signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+def checkpoint_state_digest(block_hash: bytes, chain_height: int, open_request_digests: list[bytes]) -> bytes:
+    """Application state digest covered by checkpoint signatures."""
+    return sha256(
+        block_hash,
+        chain_height.to_bytes(8, "big"),
+        *sorted(open_request_digests),
+        domain=DOMAIN_CHECKPOINT,
+    )
+
+
+@dataclass(frozen=True)
+class PreparedProof:
+    """Evidence in a ViewChange that (seq, digest) was prepared in ``view``."""
+
+    view: int
+    seq: int
+    digest: bytes
+    request: SignedRequest
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.view)
+        writer.put_uint(self.seq)
+        writer.put_fixed(self.digest, 32)
+        writer.put_bytes(self.request.encode())
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PreparedProof":
+        reader = Reader(data)
+        view = reader.get_uint()
+        seq = reader.get_uint()
+        digest = reader.get_fixed(32)
+        request = SignedRequest.decode(reader.get_bytes())
+        reader.expect_end()
+        return cls(view=view, seq=seq, digest=digest, request=request)
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """A replica's vote to move to ``new_view``."""
+
+    new_view: int
+    last_stable_seq: int
+    stable_checkpoint_digest: bytes
+    prepared: tuple[PreparedProof, ...]
+    replica_id: str
+    signature: bytes = _UNSIGNED
+
+    def signing_payload(self) -> bytes:
+        return sha256(
+            self.new_view.to_bytes(8, "big"),
+            self.last_stable_seq.to_bytes(8, "big"),
+            self.stable_checkpoint_digest,
+            *[proof.encode() for proof in self.prepared],
+            self.replica_id.encode(),
+            domain=_DOMAIN_VIEWCHANGE,
+        )
+
+    def signed(self, keypair: KeyPair) -> "ViewChange":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.replica_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.new_view)
+        writer.put_uint(self.last_stable_seq)
+        writer.put_fixed(self.stable_checkpoint_digest, 32)
+        writer.put_list(list(self.prepared), lambda w, p: w.put_bytes(p.encode()))
+        writer.put_str(self.replica_id)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ViewChange":
+        reader = Reader(data)
+        new_view = reader.get_uint()
+        last_stable_seq = reader.get_uint()
+        stable_digest = reader.get_fixed(32)
+        prepared = reader.get_list(lambda r: PreparedProof.decode(r.get_bytes()))
+        replica_id = reader.get_str()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(new_view=new_view, last_stable_seq=last_stable_seq,
+                   stable_checkpoint_digest=stable_digest, prepared=tuple(prepared),
+                   replica_id=replica_id, signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New primary's announcement: proof of 2f+1 view changes plus reproposals."""
+
+    view: int
+    view_changes: tuple[ViewChange, ...]
+    preprepares: tuple[PrePrepare, ...]
+    primary_id: str
+    signature: bytes = _UNSIGNED
+
+    def signing_payload(self) -> bytes:
+        return sha256(
+            self.view.to_bytes(8, "big"),
+            *[vc.encode() for vc in self.view_changes],
+            *[pp.encode() for pp in self.preprepares],
+            self.primary_id.encode(),
+            domain=_DOMAIN_NEWVIEW,
+        )
+
+    def signed(self, keypair: KeyPair) -> "NewView":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.primary_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.view)
+        writer.put_list(list(self.view_changes), lambda w, vc: w.put_bytes(vc.encode()))
+        writer.put_list(list(self.preprepares), lambda w, pp: w.put_bytes(pp.encode()))
+        writer.put_str(self.primary_id)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NewView":
+        reader = Reader(data)
+        view = reader.get_uint()
+        view_changes = reader.get_list(lambda r: ViewChange.decode(r.get_bytes()))
+        preprepares = reader.get_list(lambda r: PrePrepare.decode(r.get_bytes()))
+        primary_id = reader.get_str()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(view=view, view_changes=tuple(view_changes),
+                   preprepares=tuple(preprepares), primary_id=primary_id,
+                   signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())

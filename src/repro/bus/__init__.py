@@ -1,0 +1,45 @@
+"""Multifunction Vehicle Bus (MVB) substrate.
+
+Replaces the testbed's physical MVB (SIBAS-KLIP master, DDC signal
+generator, NSDB configuration) with a simulated time-triggered bus:
+
+* :mod:`repro.bus.signals` — signal definitions and fixed-point encoding;
+* :mod:`repro.bus.nsdb`    — node supervisor database (which signals exist,
+  their ports, widths, cycle periods, filter rules) with the IEC 62625-style
+  default catalog;
+* :mod:`repro.bus.frames`  — process-data telegrams with checksums;
+* :mod:`repro.bus.generator` — train-dynamics workload producing realistic
+  signal traces (speed profile, braking, doors, ATP interventions);
+* :mod:`repro.bus.master`  — the bus master polling loop delivering each
+  cycle's telegrams to all attached devices;
+* :mod:`repro.bus.faults`  — per-device reception faults (drops, bit
+  corruption, cycle reordering) as observed on real MVBs;
+* :mod:`repro.bus.reception` — per-node parse + relevance filter turning
+  telegrams into consensus :class:`~repro.wire.messages.Request` payloads.
+"""
+
+from repro.bus.signals import SignalDef, SignalValue, SignalKind
+from repro.bus.nsdb import Nsdb, standard_jru_catalog
+from repro.bus.frames import ProcessDataFrame, BusCycleData
+from repro.bus.generator import TrainDynamicsGenerator, GeneratorConfig
+from repro.bus.master import MvbMaster, BusConfig
+from repro.bus.faults import ReceptionFaultConfig, ReceptionFaults
+from repro.bus.reception import BusReceiver, RelevanceFilter
+
+__all__ = [
+    "SignalDef",
+    "SignalValue",
+    "SignalKind",
+    "Nsdb",
+    "standard_jru_catalog",
+    "ProcessDataFrame",
+    "BusCycleData",
+    "TrainDynamicsGenerator",
+    "GeneratorConfig",
+    "MvbMaster",
+    "BusConfig",
+    "ReceptionFaultConfig",
+    "ReceptionFaults",
+    "BusReceiver",
+    "RelevanceFilter",
+]

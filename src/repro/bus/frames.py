@@ -1,0 +1,115 @@
+"""MVB process-data telegrams.
+
+The MVB transfers process data as master telegram (port poll) followed by a
+slave telegram carrying the value plus a check sequence.  We model the slave
+telegram as :class:`ProcessDataFrame` — port, raw value bytes, and an 8-bit
+checksum — and one bus cycle's full complement as :class:`BusCycleData`.
+
+Frame sizes feed the payload-size accounting: real MVB frames carry up to
+32 bytes of process data plus header and check sequence overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import CodecError
+from repro.wire.codec import Reader, Writer
+
+#: Header + check-sequence overhead per slave telegram, per IEC 61375-3-1.
+FRAME_OVERHEAD_BYTES = 5
+#: Maximum process data bytes in one telegram.
+MAX_FRAME_DATA_BYTES = 32
+
+
+def frame_checksum(port: int, data: bytes) -> int:
+    """8-bit additive check sequence over port and data bytes.
+
+    A simple stand-in for the MVB's CRC; enough to detect the single-bit
+    corruptions our fault injector produces.
+    """
+    total = (port >> 8) + (port & 0xFF)
+    for byte in data:
+        total += byte
+    return total & 0xFF
+
+
+@dataclass(frozen=True)
+class ProcessDataFrame:
+    """One slave telegram: port address, data, check sequence."""
+
+    port: int
+    data: bytes
+    checksum: int
+
+    @staticmethod
+    def create(port: int, data: bytes) -> "ProcessDataFrame":
+        if len(data) > MAX_FRAME_DATA_BYTES:
+            raise CodecError(
+                f"frame data of {len(data)} bytes exceeds MVB maximum {MAX_FRAME_DATA_BYTES}"
+            )
+        return ProcessDataFrame(port=port, data=data, checksum=frame_checksum(port, data))
+
+    @property
+    def valid(self) -> bool:
+        return self.checksum == frame_checksum(self.port, self.data)
+
+    def wire_size(self) -> int:
+        return FRAME_OVERHEAD_BYTES + len(self.data)
+
+    def corrupted(self, bit_index: int) -> "ProcessDataFrame":
+        """Copy with one data bit flipped and checksum left stale (bus error)."""
+        if not self.data:
+            return self
+        byte_index = (bit_index // 8) % len(self.data)
+        mask = 1 << (bit_index % 8)
+        data = bytearray(self.data)
+        data[byte_index] ^= mask
+        return ProcessDataFrame(port=self.port, data=bytes(data), checksum=self.checksum)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.port)
+        writer.put_bytes(self.data)
+        writer.put_uint(self.checksum)
+        return writer.getvalue()
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "ProcessDataFrame":
+        port = reader.get_uint()
+        data = reader.get_bytes()
+        checksum = reader.get_uint()
+        return cls(port=port, data=data, checksum=checksum)
+
+
+@dataclass(frozen=True)
+class BusCycleData:
+    """All telegrams transmitted during one bus cycle."""
+
+    cycle_no: int
+    timestamp_us: int
+    frames: tuple[ProcessDataFrame, ...]
+
+    def wire_size(self) -> int:
+        return sum(frame.wire_size() for frame in self.frames)
+
+    def data_size(self) -> int:
+        return sum(len(frame.data) for frame in self.frames)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.cycle_no)
+        writer.put_uint(self.timestamp_us)
+        writer.put_list(list(self.frames), lambda w, f: w.put_bytes(f.encode()))
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BusCycleData":
+        reader = Reader(data)
+        cycle_no = reader.get_uint()
+        timestamp_us = reader.get_uint()
+        frames = reader.get_list(
+            lambda r: ProcessDataFrame.read_from(Reader(r.get_bytes()))
+        )
+        reader.expect_end()
+        return cls(cycle_no=cycle_no, timestamp_us=timestamp_us, frames=tuple(frames))

@@ -1,0 +1,208 @@
+"""Train-dynamics signal generator (the testbed's DDC stand-in).
+
+Produces the per-cycle signal values an ATP/control-system complement would
+write to the bus during a journey: a speed profile with acceleration,
+cruising, braking and station stops, door activity while stopped, brake
+pipe pressure following brake demand, occasional ATP interventions and
+emergency brakes, plus an opaque vendor-diagnostics channel.
+
+Two knobs matter to the evaluation sweeps:
+
+* ``target_payload_bytes`` pads each cycle with deterministic filler frames
+  (simulating a fuller process-data complement) so the consolidated request
+  reaches the sweep's payload size (32 B – 8 kB in Fig. 6/7);
+* determinism — filler and dynamics derive from the cycle number and one
+  seed, so every node observing the same cycle sees identical bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+from repro.bus.frames import MAX_FRAME_DATA_BYTES, ProcessDataFrame
+from repro.bus.nsdb import Nsdb
+from repro.bus.signals import SignalValue
+from repro.util.errors import ConfigError
+from repro.util.rng import RngRegistry
+
+#: Port range used by deterministic filler frames (outside the NSDB catalog).
+FILLER_PORT_BASE = 0x800
+
+
+class _Phase(enum.Enum):
+    ACCELERATING = "accelerating"
+    CRUISING = "cruising"
+    BRAKING = "braking"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Journey and workload parameters."""
+
+    max_speed_kmh: float = 160.0
+    acceleration_kmh_s: float = 1.2
+    braking_kmh_s: float = 2.0
+    cruise_duration_s: float = 120.0
+    stop_duration_s: float = 45.0
+    emergency_brake_prob_per_cycle: float = 0.0005
+    atp_intervention_prob_per_cycle: float = 0.001
+    target_payload_bytes: int = 0  # 0 = no padding
+    seed_name: str = "generator"
+
+
+class TrainDynamicsGenerator:
+    """Stateful signal source driven once per bus cycle."""
+
+    def __init__(self, nsdb: Nsdb, config: GeneratorConfig, rng: RngRegistry) -> None:
+        self._nsdb = nsdb
+        self._config = config
+        self._rng = rng.stream(config.seed_name)
+        self._phase = _Phase.ACCELERATING
+        self._phase_elapsed_s = 0.0
+        self._speed_kmh = 0.0
+        self._odometer_m = 0.0
+        self._brake_demand_pct = 0.0
+        self._doors_open_mask = 0
+        self._emergency = False
+        self._atp_intervention = False
+        self._stops_made = 0
+
+    # -- train physics --------------------------------------------------------
+
+    @property
+    def speed_kmh(self) -> float:
+        return self._speed_kmh
+
+    @property
+    def phase(self) -> str:
+        return self._phase.value
+
+    @property
+    def stops_made(self) -> int:
+        return self._stops_made
+
+    def _advance(self, dt_s: float) -> None:
+        cfg = self._config
+        self._phase_elapsed_s += dt_s
+
+        if self._emergency:
+            self._speed_kmh = max(0.0, self._speed_kmh - 2 * cfg.braking_kmh_s * dt_s)
+            self._brake_demand_pct = 100.0
+            if self._speed_kmh == 0.0:
+                self._emergency = False
+                self._phase = _Phase.STOPPED
+                self._phase_elapsed_s = 0.0
+        elif self._phase is _Phase.ACCELERATING:
+            self._speed_kmh = min(cfg.max_speed_kmh, self._speed_kmh + cfg.acceleration_kmh_s * dt_s)
+            self._brake_demand_pct = 0.0
+            if self._speed_kmh >= cfg.max_speed_kmh:
+                self._phase = _Phase.CRUISING
+                self._phase_elapsed_s = 0.0
+        elif self._phase is _Phase.CRUISING:
+            self._brake_demand_pct = 0.0
+            if self._phase_elapsed_s >= cfg.cruise_duration_s:
+                self._phase = _Phase.BRAKING
+                self._phase_elapsed_s = 0.0
+        elif self._phase is _Phase.BRAKING:
+            self._speed_kmh = max(0.0, self._speed_kmh - cfg.braking_kmh_s * dt_s)
+            self._brake_demand_pct = 60.0
+            if self._speed_kmh == 0.0:
+                self._phase = _Phase.STOPPED
+                self._phase_elapsed_s = 0.0
+                self._stops_made += 1
+        elif self._phase is _Phase.STOPPED:
+            self._brake_demand_pct = 30.0
+            self._doors_open_mask = 0b1111 if self._phase_elapsed_s < self._config.stop_duration_s * 0.8 else 0
+            if self._phase_elapsed_s >= cfg.stop_duration_s:
+                self._doors_open_mask = 0
+                self._phase = _Phase.ACCELERATING
+                self._phase_elapsed_s = 0.0
+
+        self._odometer_m += self._speed_kmh / 3.6 * dt_s
+
+        # Random safety events only while moving.
+        if self._speed_kmh > 10.0:
+            if not self._emergency and self._rng.random() < cfg.emergency_brake_prob_per_cycle:
+                self._emergency = True
+            self._atp_intervention = self._rng.random() < cfg.atp_intervention_prob_per_cycle
+        else:
+            self._atp_intervention = False
+
+    # -- per-cycle output ------------------------------------------------------
+
+    def signals_for_cycle(self, cycle_no: int, dt_s: float) -> list[SignalValue]:
+        """Advance the dynamics by one cycle and emit the due signal values."""
+        self._advance(dt_s)
+        values: list[SignalValue] = []
+        for definition in self._nsdb.due_in_cycle(cycle_no):
+            values.append(SignalValue.of(definition, self._current_value(definition.name, cycle_no)))
+        return values
+
+    def _current_value(self, name: str, cycle_no: int):
+        if name == "speed":
+            return min(self._speed_kmh, 409.5)
+        if name == "odometer":
+            return self._odometer_m % 400_000.0
+        if name == "brake_pipe_pressure":
+            return max(0.0, 5.0 - self._brake_demand_pct / 25.0)
+        if name == "emergency_brake":
+            return self._emergency
+        if name == "service_brake_demand":
+            return self._brake_demand_pct
+        if name == "driver_command":
+            return 0b10 if self._phase in (_Phase.ACCELERATING, _Phase.CRUISING) else 0b01
+        if name == "atp_intervention":
+            return self._atp_intervention
+        if name == "atp_mode":
+            return 2 if self._speed_kmh > 0 else 1
+        if name == "door_state":
+            return self._doors_open_mask
+        if name == "traction_effort":
+            return 150.0 if self._phase is _Phase.ACCELERATING else 20.0
+        if name == "pantograph_state":
+            return 0b1
+        if name == "horn_active":
+            return False
+        if name == "cab_active":
+            return 1
+        if name == "vendor_diagnostics":
+            return self._opaque_diagnostics(cycle_no)
+        raise ConfigError(f"generator has no model for signal {name!r}")
+
+    def _opaque_diagnostics(self, cycle_no: int) -> bytes:
+        width = self._nsdb.signal("vendor_diagnostics").width_bytes
+        return hashlib.sha256(f"diag:{cycle_no}".encode()).digest()[:width]
+
+    # -- frame assembly ---------------------------------------------------------
+
+    def frames_for_cycle(self, cycle_no: int, dt_s: float) -> list[ProcessDataFrame]:
+        """Signal frames plus deterministic filler up to the target payload size."""
+        frames = [
+            ProcessDataFrame.create(value.definition.port, value.raw)
+            for value in self.signals_for_cycle(cycle_no, dt_s)
+        ]
+        target = self._config.target_payload_bytes
+        if target:
+            current = sum(len(frame.data) for frame in frames)
+            frames.extend(_filler_frames(cycle_no, max(0, target - current)))
+        return frames
+
+
+def _filler_frames(cycle_no: int, nbytes: int) -> list[ProcessDataFrame]:
+    """Deterministic padding frames (same bytes on every node for a cycle)."""
+    frames = []
+    port = FILLER_PORT_BASE
+    remaining = nbytes
+    counter = 0
+    while remaining > 0:
+        chunk = min(MAX_FRAME_DATA_BYTES, remaining)
+        material = hashlib.sha256(f"filler:{cycle_no}:{counter}".encode()).digest()
+        data = (material * ((chunk // len(material)) + 1))[:chunk]
+        frames.append(ProcessDataFrame.create(port, data))
+        port += 1
+        counter += 1
+        remaining -= chunk
+    return frames

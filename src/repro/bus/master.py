@@ -1,0 +1,121 @@
+"""The MVB bus master polling loop.
+
+The master (the testbed's SIBAS-KLIP AS318MVB) sets the cycle: every
+``cycle_time_s`` it polls the signal writers and delivers the resulting
+telegrams to every attached device in the same instant — the bus is a
+synchronous, time-triggered broadcast medium.  Reception faults are applied
+per device on delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bus.faults import ReceptionFaultConfig, ReceptionFaults
+from repro.bus.frames import BusCycleData
+from repro.bus.generator import TrainDynamicsGenerator
+from repro.sim.kernel import Kernel
+from repro.util.errors import ConfigError
+from repro.util.rng import RngRegistry
+
+#: Minimum MVB cycle time (§V-B: "bus cycles from 32 ms, the MVB's minimum").
+MIN_CYCLE_TIME_S = 0.032
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Bus master parameters."""
+
+    cycle_time_s: float = 0.064
+    enforce_minimum: bool = True
+
+    def __post_init__(self) -> None:
+        if self.enforce_minimum and self.cycle_time_s < MIN_CYCLE_TIME_S:
+            raise ConfigError(
+                f"cycle time {self.cycle_time_s * 1000:.0f} ms below MVB minimum "
+                f"{MIN_CYCLE_TIME_S * 1000:.0f} ms"
+            )
+        if self.cycle_time_s <= 0:
+            raise ConfigError("cycle time must be positive")
+
+
+class MvbMaster:
+    """Drives the cycle schedule and fans telegrams out to attached devices."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        generator: TrainDynamicsGenerator,
+        config: BusConfig,
+        rng: RngRegistry,
+    ) -> None:
+        self._kernel = kernel
+        self._generator = generator
+        self._config = config
+        self._rng = rng
+        self._devices: dict[str, tuple[Callable[[BusCycleData], None], ReceptionFaults]] = {}
+        self._offline: set[str] = set()
+        self._cycle_no = 0
+        self._running = False
+        self.cycles_emitted = 0
+
+    @property
+    def cycle_time_s(self) -> float:
+        return self._config.cycle_time_s
+
+    @property
+    def cycle_no(self) -> int:
+        return self._cycle_no
+
+    def attach(
+        self,
+        device_id: str,
+        on_cycle: Callable[[BusCycleData], None],
+        faults: ReceptionFaultConfig | None = None,
+    ) -> None:
+        """Subscribe a device to every bus cycle, with optional reception faults."""
+        if device_id in self._devices:
+            raise ConfigError(f"device {device_id!r} already attached")
+        fault_state = ReceptionFaults(
+            faults or ReceptionFaultConfig.none(),
+            self._rng.stream(f"bus-faults:{device_id}"),
+        )
+        self._devices[device_id] = (on_cycle, fault_state)
+
+    def device_faults(self, device_id: str) -> ReceptionFaults:
+        return self._devices[device_id][1]
+
+    def set_offline(self, device_id: str, offline: bool) -> None:
+        """Power state: an offline device receives no cycles at all."""
+        if offline:
+            self._offline.add(device_id)
+        else:
+            self._offline.discard(device_id)
+
+    def start(self) -> None:
+        if self._running:
+            raise ConfigError("bus master already running")
+        self._running = True
+        self._kernel.schedule(self._config.cycle_time_s, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._cycle_no += 1
+        self.cycles_emitted += 1
+        frames = self._generator.frames_for_cycle(self._cycle_no, self._config.cycle_time_s)
+        cycle = BusCycleData(
+            cycle_no=self._cycle_no,
+            timestamp_us=int(self._kernel.now * 1e6),
+            frames=tuple(frames),
+        )
+        for device_id, (on_cycle, fault_state) in self._devices.items():
+            if device_id in self._offline:
+                continue
+            for delivery in fault_state.apply(cycle):
+                on_cycle(delivery)
+        self._kernel.schedule(self._config.cycle_time_s, self._tick)

@@ -1,0 +1,137 @@
+"""ProfiNet-style bus variant: cyclic IO plus acyclic alarms.
+
+The paper's prototype reads an MVB, but "our approach is independent of
+the underlying bus technology and can be extended to any bus, e.g.,
+ProfiNet" (§II-A).  This module models the properties that differ from
+the MVB:
+
+* **cyclic IO data** exchanged on a fixed update interval (like the MVB's
+  process data — reusing :class:`~repro.bus.frames.ProcessDataFrame`);
+* **acyclic alarms** — event-driven frames (diagnosis, process alarms)
+  that arrive *between* cycles, at arbitrary times.
+
+For the recorder, alarms matter: they are exactly the "uniquely received,
+urgent event" case — every alarm is consolidated into its own immediate
+request rather than waiting for the next cycle boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bus.frames import BusCycleData, ProcessDataFrame
+from repro.bus.generator import TrainDynamicsGenerator
+from repro.sim.kernel import Kernel
+from repro.util.errors import ConfigError
+from repro.util.rng import RngRegistry
+
+#: Port range used for alarm frames (distinct from cyclic IO and filler).
+ALARM_PORT_BASE = 0xF00
+
+
+class AlarmKind(enum.Enum):
+    DIAGNOSIS = 1        # device self-diagnosis (e.g. sensor degradation)
+    PROCESS = 2          # process alarm (threshold crossing)
+    PULL_PLUG = 3        # module removed / inserted
+
+
+@dataclass(frozen=True)
+class ProfinetConfig:
+    """Bus parameters: cyclic update interval and alarm arrival rate."""
+
+    update_interval_s: float = 0.064
+    alarm_rate_per_s: float = 0.2     # mean Poisson rate of acyclic alarms
+
+    def __post_init__(self) -> None:
+        if self.update_interval_s <= 0:
+            raise ConfigError("update interval must be positive")
+        if self.alarm_rate_per_s < 0:
+            raise ConfigError("alarm rate must be non-negative")
+
+
+class ProfinetBus:
+    """Cyclic IO + Poisson alarm source feeding the same device interface.
+
+    Devices receive :class:`~repro.bus.frames.BusCycleData` for both cyclic
+    updates and alarms — an alarm is delivered as a one-frame "cycle" with
+    its own monotonically increasing event number, so the recorder's
+    consolidation path (one request per delivery) applies unchanged.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        generator: TrainDynamicsGenerator,
+        config: ProfinetConfig,
+        rng: RngRegistry,
+    ) -> None:
+        self._kernel = kernel
+        self._generator = generator
+        self._config = config
+        self._rng = rng.stream("profinet-alarms")
+        self._devices: dict[str, Callable[[BusCycleData], None]] = {}
+        self._event_no = 0
+        self._running = False
+        self.cycles_emitted = 0
+        self.alarms_emitted = 0
+
+    def attach(self, device_id: str, on_delivery: Callable[[BusCycleData], None]) -> None:
+        if device_id in self._devices:
+            raise ConfigError(f"device {device_id!r} already attached")
+        self._devices[device_id] = on_delivery
+
+    def start(self) -> None:
+        if self._running:
+            raise ConfigError("bus already running")
+        self._running = True
+        self._kernel.schedule(self._config.update_interval_s, self._cyclic_tick)
+        self._schedule_next_alarm()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- cyclic IO ----------------------------------------------------------------
+
+    def _cyclic_tick(self) -> None:
+        if not self._running:
+            return
+        self._event_no += 1
+        self.cycles_emitted += 1
+        frames = self._generator.frames_for_cycle(
+            self._event_no, self._config.update_interval_s
+        )
+        self._deliver(BusCycleData(
+            cycle_no=self._event_no,
+            timestamp_us=int(self._kernel.now * 1e6),
+            frames=tuple(frames),
+        ))
+        self._kernel.schedule(self._config.update_interval_s, self._cyclic_tick)
+
+    # -- acyclic alarms --------------------------------------------------------------
+
+    def _schedule_next_alarm(self) -> None:
+        if self._config.alarm_rate_per_s <= 0:
+            return
+        delay = self._rng.expovariate(self._config.alarm_rate_per_s)
+        self._kernel.schedule(delay, self._alarm_tick)
+
+    def _alarm_tick(self) -> None:
+        if not self._running:
+            return
+        self._event_no += 1
+        self.alarms_emitted += 1
+        kind = self._rng.choice(list(AlarmKind))
+        payload = bytes([kind.value]) + self._rng.randbytes(6)
+        frame = ProcessDataFrame.create(ALARM_PORT_BASE + kind.value, payload)
+        self._deliver(BusCycleData(
+            cycle_no=self._event_no,
+            timestamp_us=int(self._kernel.now * 1e6),
+            frames=(frame,),
+        ))
+        self._schedule_next_alarm()
+
+    def _deliver(self, delivery: BusCycleData) -> None:
+        for on_delivery in self._devices.values():
+            on_delivery(delivery)

@@ -1,0 +1,103 @@
+"""Juridically relevant train signals and their fixed-point encodings.
+
+IEC 62625 requires the JRU to record speed, location, brake activity,
+driver commands, ATP interventions, door activity, and similar events with
+timestamps.  Each signal has an MVB port address, a fixed byte width, a
+period (in bus cycles), and a relevance rule (log always vs. on change).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import CodecError, ConfigError
+
+
+class SignalKind(enum.Enum):
+    """Value semantics of a signal, selecting its codec."""
+
+    UNSIGNED = "unsigned"        # raw unsigned integer
+    FIXED_POINT = "fixed_point"  # unsigned with a scale factor (e.g. 0.1 km/h)
+    BOOLEAN = "boolean"          # single flag
+    BITFIELD = "bitfield"        # multiple flags, e.g. one per door
+    OPAQUE = "opaque"            # pre-encrypted or vendor data, logged as-is
+
+
+@dataclass(frozen=True)
+class SignalDef:
+    """Static description of one signal from the NSDB."""
+
+    name: str
+    port: int
+    width_bytes: int
+    kind: SignalKind = SignalKind.UNSIGNED
+    scale: float = 1.0
+    period_cycles: int = 1
+    log_on_change_only: bool = False
+    encrypted: bool = False
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 0xFFF:
+            raise ConfigError(f"{self.name}: MVB port {self.port:#x} outside 12-bit range")
+        if self.width_bytes < 1:
+            raise ConfigError(f"{self.name}: width must be >= 1 byte")
+        if self.period_cycles < 1:
+            raise ConfigError(f"{self.name}: period must be >= 1 cycle")
+        if self.kind is SignalKind.FIXED_POINT and self.scale <= 0:
+            raise ConfigError(f"{self.name}: fixed-point scale must be positive")
+
+    def encode_value(self, value: float | int | bool | bytes) -> bytes:
+        """Encode a decoded value into this signal's raw byte representation."""
+        if self.kind is SignalKind.OPAQUE:
+            if not isinstance(value, bytes) or len(value) != self.width_bytes:
+                raise CodecError(f"{self.name}: opaque value must be {self.width_bytes} bytes")
+            return value
+        if self.kind is SignalKind.BOOLEAN:
+            return (b"\x01" if value else b"\x00") * 1 + b"\x00" * (self.width_bytes - 1)
+        if self.kind is SignalKind.BITFIELD:
+            return int(value).to_bytes(self.width_bytes, "big")
+        if self.kind is SignalKind.FIXED_POINT:
+            raw = round(float(value) / self.scale)
+        else:
+            raw = int(value)
+        if raw < 0:
+            raise CodecError(f"{self.name}: negative raw value {raw}")
+        limit = 1 << (8 * self.width_bytes)
+        if raw >= limit:
+            raise CodecError(f"{self.name}: value {value} overflows {self.width_bytes} bytes")
+        return raw.to_bytes(self.width_bytes, "big")
+
+    def decode_value(self, raw: bytes) -> float | int | bool | bytes:
+        """Decode raw bytes into the signal's value domain."""
+        if len(raw) != self.width_bytes:
+            raise CodecError(f"{self.name}: expected {self.width_bytes} raw bytes, got {len(raw)}")
+        if self.kind is SignalKind.OPAQUE:
+            return raw
+        if self.kind is SignalKind.BOOLEAN:
+            return raw[0] != 0
+        value = int.from_bytes(raw, "big")
+        if self.kind is SignalKind.FIXED_POINT:
+            return value * self.scale
+        return value
+
+
+@dataclass(frozen=True)
+class SignalValue:
+    """One observed signal sample on the bus."""
+
+    definition: SignalDef
+    raw: bytes
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def value(self) -> float | int | bool | bytes:
+        return self.definition.decode_value(self.raw)
+
+    @staticmethod
+    def of(definition: SignalDef, value: float | int | bool | bytes) -> "SignalValue":
+        return SignalValue(definition=definition, raw=definition.encode_value(value))

@@ -1,0 +1,25 @@
+"""Blockchain substrate: blocks, the hash-linked chain, pruning, persistence.
+
+The chain stores totally ordered requests in blocks of configurable size
+(10 requests in the evaluation).  Each block commits to its payload via a
+Merkle root and to its predecessor via the header hash, so deleting,
+reordering, or modifying logged events after the fact is detectable from a
+single surviving copy (§III-A, R3).  Pruning after export keeps the last
+exported block as the new base (§III-D) together with the data-center
+delete certificates that justify the truncation.
+"""
+
+from repro.chain.block import Block, BlockHeader, GENESIS_PREV_HASH, build_block, genesis_block
+from repro.chain.blockchain import Blockchain, PruneCertificate
+from repro.chain.store import BlockStore
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "GENESIS_PREV_HASH",
+    "build_block",
+    "genesis_block",
+    "Blockchain",
+    "PruneCertificate",
+    "BlockStore",
+]

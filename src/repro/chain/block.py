@@ -1,0 +1,163 @@
+"""Blocks: headers, payload commitment, deterministic construction.
+
+Replicas "deterministically bundle and hash" ordered requests once the
+block-size threshold is reached (§III-C, Blockchain Application).  All
+correct replicas therefore build byte-identical blocks, which is what makes
+the per-block checkpoint digests comparable across nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.crypto.hashing import DOMAIN_BLOCK, sha256
+from repro.crypto.merkle import MerkleTree, merkle_root
+from repro.util.errors import ChainError
+from repro.wire.codec import Reader, Writer
+from repro.wire.messages import SignedRequest
+
+GENESIS_PREV_HASH = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Integrity-critical block metadata."""
+
+    height: int
+    prev_hash: bytes
+    payload_root: bytes
+    timestamp_us: int
+    request_count: int
+    last_sn: int  # consensus sequence number of the last included request
+
+    @cached_property
+    def block_hash(self) -> bytes:
+        return sha256(
+            self.prev_hash,
+            self.payload_root,
+            self.height.to_bytes(8, "big"),
+            self.timestamp_us.to_bytes(8, "big"),
+            self.request_count.to_bytes(4, "big"),
+            self.last_sn.to_bytes(8, "big"),
+            domain=DOMAIN_BLOCK,
+        )
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_uint(self.height)
+        writer.put_fixed(self.prev_hash, 32)
+        writer.put_fixed(self.payload_root, 32)
+        writer.put_uint(self.timestamp_us)
+        writer.put_uint(self.request_count)
+        writer.put_uint(self.last_sn)
+        return writer.getvalue()
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "BlockHeader":
+        return cls(
+            height=reader.get_uint(),
+            prev_hash=reader.get_fixed(32),
+            payload_root=reader.get_fixed(32),
+            timestamp_us=reader.get_uint(),
+            request_count=reader.get_uint(),
+            last_sn=reader.get_uint(),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BlockHeader":
+        reader = Reader(data)
+        header = cls.read_from(reader)
+        reader.expect_end()
+        return header
+
+
+@dataclass(frozen=True)
+class Block:
+    """A header plus the ordered signed requests it commits to."""
+
+    header: BlockHeader
+    requests: tuple[SignedRequest, ...]
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    @property
+    def block_hash(self) -> bytes:
+        return self.header.block_hash
+
+    @property
+    def last_sn(self) -> int:
+        return self.header.last_sn
+
+    def payload_leaves(self) -> list[bytes]:
+        return [request.encode() for request in self.requests]
+
+    def verify_payload(self) -> bool:
+        """Check the Merkle commitment and request count against the header."""
+        if len(self.requests) != self.header.request_count:
+            return False
+        return merkle_root(self.payload_leaves()) == self.header.payload_root
+
+    def merkle_tree(self) -> MerkleTree:
+        return MerkleTree(self.payload_leaves())
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_bytes(self.header.encode())
+        writer.put_list(list(self.requests), lambda w, r: w.put_bytes(r.encode()))
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Block":
+        reader = Reader(data)
+        header = BlockHeader.decode(reader.get_bytes())
+        requests = reader.get_list(lambda r: SignedRequest.decode(r.get_bytes()))
+        reader.expect_end()
+        return cls(header=header, requests=tuple(requests))
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+def genesis_block(chain_id: str = "zugchain") -> Block:
+    """Deterministic height-0 block shared by all replicas at startup.
+
+    The chain id is bound via the (otherwise unused) previous-hash field so
+    distinct deployments produce distinct genesis hashes while the payload
+    commitment remains a valid (empty) Merkle root.
+    """
+    header = BlockHeader(
+        height=0,
+        prev_hash=sha256(chain_id.encode(), domain=DOMAIN_BLOCK),
+        payload_root=merkle_root([]),
+        timestamp_us=0,
+        request_count=0,
+        last_sn=0,
+    )
+    return Block(header=header, requests=())
+
+
+def build_block(
+    prev: BlockHeader,
+    requests: list[SignedRequest],
+    timestamp_us: int,
+    last_sn: int,
+) -> Block:
+    """Deterministically bundle ordered requests into the next block."""
+    if not requests:
+        raise ChainError("cannot build an empty block")
+    if last_sn <= prev.last_sn and prev.height > 0:
+        raise ChainError(
+            f"block sequence must advance: last_sn {last_sn} <= previous {prev.last_sn}"
+        )
+    header = BlockHeader(
+        height=prev.height + 1,
+        prev_hash=prev.block_hash,
+        payload_root=merkle_root([request.encode() for request in requests]),
+        timestamp_us=timestamp_us,
+        request_count=len(requests),
+        last_sn=last_sn,
+    )
+    return Block(header=header, requests=tuple(requests))

@@ -1,0 +1,174 @@
+"""The replica-local chain: append, validate, prune, headers-only fallback.
+
+Pruning implements §III-D: after a confirmed export, blocks up to the
+exported index are deleted, "keeping the last exported block to serve as
+the first block for the pruned blockchain".  The signed data-center deletes
+are retained as a :class:`PruneCertificate` so a transferred or audited
+chain can justify why it does not start at genesis (error scenario ii).
+
+If deletes are missed and memory runs out, replicas can fall back to
+dropping block bodies while keeping headers (error scenario v) — hashes
+remain available, so integrity of the retained chain is still verifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block, genesis_block
+from repro.util.errors import ChainError
+
+
+@dataclass(frozen=True)
+class PruneCertificate:
+    """Proof that pruning below ``base_height`` was authorized by data centers."""
+
+    base_height: int
+    base_block_hash: bytes
+    delete_signatures: dict[str, bytes]  # data-center id -> signature
+
+    def signer_count(self) -> int:
+        return len(self.delete_signatures)
+
+
+@dataclass
+class Blockchain:
+    """Hash-linked block sequence with a movable base."""
+
+    chain_id: str = "zugchain"
+    _blocks: list[Block] = field(default_factory=list)
+    _headers_only_heights: set[int] = field(default_factory=set)
+    prune_certificate: PruneCertificate | None = None
+
+    def __post_init__(self) -> None:
+        if not self._blocks:
+            self._blocks.append(genesis_block(self.chain_id))
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def base_height(self) -> int:
+        return self._blocks[0].height
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return self.head.height
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block_at(self, height: int) -> Block:
+        index = height - self.base_height
+        if not 0 <= index < len(self._blocks):
+            raise ChainError(
+                f"height {height} outside stored range "
+                f"[{self.base_height}, {self.height}]"
+            )
+        return self._blocks[index]
+
+    def has_block(self, height: int) -> bool:
+        return self.base_height <= height <= self.height
+
+    def blocks_in_range(self, first: int, last: int) -> list[Block]:
+        """Blocks with ``first <= height <= last`` (all must be stored)."""
+        return [self.block_at(h) for h in range(first, last + 1)]
+
+    def body_available(self, height: int) -> bool:
+        return self.has_block(height) and height not in self._headers_only_heights
+
+    def total_size_bytes(self) -> int:
+        return sum(
+            block.encoded_size()
+            for block in self._blocks
+            if block.height not in self._headers_only_heights
+        )
+
+    # -- writing --------------------------------------------------------------
+
+    def append(self, block: Block) -> None:
+        """Append after full validation against the current head."""
+        head = self.head
+        if block.height != head.height + 1:
+            raise ChainError(f"expected height {head.height + 1}, got {block.height}")
+        if block.header.prev_hash != head.block_hash:
+            raise ChainError(f"block {block.height} does not link to current head")
+        if not block.verify_payload():
+            raise ChainError(f"block {block.height} payload does not match its header")
+        if block.last_sn <= head.last_sn and head.height > 0:
+            raise ChainError(
+                f"block {block.height} sequence {block.last_sn} does not advance"
+            )
+        self._blocks.append(block)
+
+    def prune_below(self, height: int, certificate: PruneCertificate) -> list[Block]:
+        """Drop blocks strictly below ``height``; returns the removed blocks.
+
+        ``height`` must reference a stored block, which becomes the new base.
+        """
+        if not self.has_block(height):
+            raise ChainError(f"cannot prune to unknown height {height}")
+        base = self.block_at(height)
+        if certificate.base_height != height or certificate.base_block_hash != base.block_hash:
+            raise ChainError("prune certificate does not match the requested base block")
+        removed = [block for block in self._blocks if block.height < height]
+        self._blocks = [block for block in self._blocks if block.height >= height]
+        self._headers_only_heights = {
+            h for h in self._headers_only_heights if h >= height
+        }
+        self.prune_certificate = certificate
+        return removed
+
+    def drop_bodies_below(self, height: int) -> int:
+        """Memory-exhaustion fallback: keep headers, drop request bodies.
+
+        Returns the number of blocks affected.  The genesis/base block is
+        kept intact so the chain can still be re-linked.
+        """
+        affected = 0
+        for block in self._blocks:
+            if self.base_height < block.height < height and block.height not in self._headers_only_heights:
+                self._headers_only_heights.add(block.height)
+                affected += 1
+        return affected
+
+    # -- verification -----------------------------------------------------------
+
+    def verify(self) -> None:
+        """Full integrity check of the stored chain; raises on violation."""
+        previous = None
+        for block in self._blocks:
+            if previous is not None:
+                if block.height != previous.height + 1:
+                    raise ChainError(f"gap before height {block.height}")
+                if block.header.prev_hash != previous.block_hash:
+                    raise ChainError(f"broken link at height {block.height}")
+            if block.height not in self._headers_only_heights and not block.verify_payload():
+                raise ChainError(f"payload mismatch at height {block.height}")
+            previous = block
+        if self.base_height > 0 and self.prune_certificate is None:
+            raise ChainError("pruned chain is missing its prune certificate")
+
+    def is_valid(self) -> bool:
+        try:
+            self.verify()
+            return True
+        except ChainError:
+            return False
+
+    @staticmethod
+    def from_blocks(blocks: list[Block], chain_id: str = "zugchain",
+                    prune_certificate: PruneCertificate | None = None) -> "Blockchain":
+        """Reconstruct (e.g. on the data-center side) and verify a chain."""
+        if not blocks:
+            raise ChainError("cannot build a chain from zero blocks")
+        chain = Blockchain.__new__(Blockchain)
+        chain.chain_id = chain_id
+        chain._blocks = list(blocks)
+        chain._headers_only_heights = set()
+        chain.prune_certificate = prune_certificate
+        chain.verify()
+        return chain

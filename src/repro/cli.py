@@ -1,0 +1,147 @@
+"""Command-line interface: run scenarios, exports, and analyses.
+
+Examples::
+
+    python -m repro run --system zugchain --cycle-ms 64 --duration 60
+    python -m repro run --system baseline --cycle-ms 32 --payload 1024
+    python -m repro export --blocks 2000 --datacenters 2
+    python -m repro reliability --destroy-prob 0.1 --target 1e-4
+    python -m repro requirements --cycle-ms 64 --payload 8192
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.export.scenario import ExportScenario, ExportScenarioConfig
+from repro.jru import check_requirements, required_nodes_for_target, survival_probability
+from repro.scenarios import ScenarioConfig, SimulatedCluster
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser("run", help="run a recorder scenario and report metrics")
+    parser.add_argument("--system", choices=("zugchain", "baseline"), default="zugchain")
+    parser.add_argument("--cycle-ms", type=float, default=64.0, help="bus cycle time")
+    parser.add_argument("--payload", type=int, default=1024, help="payload bytes per cycle")
+    parser.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
+    parser.add_argument("--warmup", type=float, default=3.0)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_export_parser(subparsers) -> None:
+    parser = subparsers.add_parser("export", help="run one export round over simulated LTE")
+    parser.add_argument("--blocks", type=int, default=1000)
+    parser.add_argument("--datacenters", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_reliability_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "reliability", help="Braband-style survival analysis for a node count"
+    )
+    parser.add_argument("--destroy-prob", type=float, default=0.1,
+                        help="per-node destruction probability in an incident")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--target", type=float, default=None,
+                        help="target data-loss probability; prints required node count")
+    parser.add_argument("--correlation", type=float, default=0.0)
+
+
+def _add_requirements_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "requirements", help="run a scenario and check the JRU requirements"
+    )
+    parser.add_argument("--cycle-ms", type=float, default=64.0)
+    parser.add_argument("--payload", type=int, default=8192)
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _cmd_run(args, out) -> int:
+    cluster = SimulatedCluster(ScenarioConfig(
+        system=args.system,
+        n=args.nodes,
+        seed=args.seed,
+        cycle_time_s=args.cycle_ms / 1000.0,
+        payload_bytes=args.payload,
+    ))
+    result = cluster.run(duration_s=args.duration, warmup_s=args.warmup)
+    print(result.summary_row(), file=out)
+    print(f"p99 latency   : {result.p99_latency_s * 1000:.2f} ms", file=out)
+    print(f"logged        : {result.requests_logged}/{result.requests_expected}", file=out)
+    print(f"view changes  : {result.view_changes}", file=out)
+    chain = cluster.nodes[cluster.ids[0]].chain
+    print(f"chain         : height {chain.height}, base {chain.base_height}, "
+          f"head {chain.head.block_hash.hex()[:16]}…", file=out)
+    return 0
+
+
+def _cmd_export(args, out) -> int:
+    scenario = ExportScenario(ExportScenarioConfig(
+        n_blocks=args.blocks,
+        n_datacenters=args.datacenters,
+        seed=args.seed,
+    ))
+    round_ = scenario.run_export()
+    print(f"exported {round_.blocks_exported} blocks from replica {round_.full_from}", file=out)
+    print(f"read   : {round_.read_s:.2f} s ({round_.read_s / round_.total_s * 100:.0f} %)", file=out)
+    print(f"verify : {round_.verify_s:.3f} s", file=out)
+    print(f"delete : {round_.delete_s:.2f} s", file=out)
+    print(f"total  : {round_.total_s:.2f} s", file=out)
+    return 0
+
+
+def _cmd_reliability(args, out) -> int:
+    if args.target is not None:
+        needed = required_nodes_for_target(args.destroy_prob, args.target, args.correlation)
+        if needed is None:
+            print("target unreachable (common-cause floor or node cap)", file=out)
+            return 1
+        print(f"nodes required for loss probability <= {args.target:g}: {needed}", file=out)
+        return 0
+    survive = survival_probability([args.destroy_prob] * args.nodes,
+                                   correlation=args.correlation)
+    print(f"P(at least one record survives) with {args.nodes} nodes: {survive:.6f}", file=out)
+    print(f"P(total data loss): {1 - survive:.2e}", file=out)
+    return 0
+
+
+def _cmd_requirements(args, out) -> int:
+    cluster = SimulatedCluster(ScenarioConfig(
+        system="zugchain",
+        seed=args.seed,
+        cycle_time_s=args.cycle_ms / 1000.0,
+        payload_bytes=args.payload,
+    ))
+    result = cluster.run(duration_s=args.duration, warmup_s=3.0)
+    report = check_requirements(result, persist_payload_bytes=args.payload)
+    for line in report.lines():
+        print(line, file=out)
+    return 0 if report.all_passed else 1
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZugChain reproduction: blockchain-based juridical recording",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    _add_export_parser(subparsers)
+    _add_reliability_parser(subparsers)
+    _add_requirements_parser(subparsers)
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "export": _cmd_export,
+        "reliability": _cmd_reliability,
+        "requirements": _cmd_requirements,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""The ZugChain core: the BFT communication layer for bus input (Alg. 1).
+
+This package is the paper's primary contribution.  It adapts the
+authenticated, individual clients of primary-based BFT protocols to input
+arriving over a single, unauthenticated, time-triggered bus:
+
+* :mod:`repro.core.filtering` — content-based duplicate detection over a
+  sliding window of past checkpoints plus open requests;
+* :mod:`repro.core.ratelimit` — per-node open-request limits (DoS defence,
+  fault case iii of §III-C);
+* :mod:`repro.core.messages`  — the layer's broadcast/forward envelopes;
+* :mod:`repro.core.layer`     — the Algorithm 1 state machine: receive,
+  propose-on-primary, soft/hard timeouts, broadcast, forward, duplicate
+  suspicion, re-proposal after view changes;
+* :mod:`repro.core.blockbuilder` — deterministic bundling of decided
+  requests into blocks with per-block checkpoints;
+* :mod:`repro.core.node`      — full ZugChain node assembly (bus receiver,
+  layer, PBFT replica, blockchain, export handler hookup);
+* :mod:`repro.core.baseline`  — the evaluation baseline: traditional PBFT
+  client/replica pairs on every node.
+"""
+
+from repro.core.filtering import DedupIndex
+from repro.core.ratelimit import OpenRequestLimiter
+from repro.core.messages import ZugBroadcast, ZugForward
+from repro.core.layer import ZugChainConfig, ZugChainLayer
+from repro.core.blockbuilder import BlockBuilder
+from repro.core.node import ZugChainNode
+from repro.core.baseline import BaselineNode
+
+__all__ = [
+    "DedupIndex",
+    "OpenRequestLimiter",
+    "ZugBroadcast",
+    "ZugForward",
+    "ZugChainConfig",
+    "ZugChainLayer",
+    "BlockBuilder",
+    "ZugChainNode",
+    "BaselineNode",
+]

@@ -1,0 +1,80 @@
+"""Deterministic block assembly with per-block checkpoints.
+
+"Once a certain threshold of ordered requests has been reached, the
+replicas deterministically bundle and hash them and store the created
+block on disk" (§III-C).  "A block is created after sufficient requests
+have been ordered, and for every block a checkpoint including this block
+and all its requests is created" (§III-C, Checkpointing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bft.messages import checkpoint_state_digest
+from repro.chain.block import Block, build_block
+from repro.chain.blockchain import Blockchain
+from repro.wire.messages import SignedRequest
+
+
+class BlockBuilder:
+    """Accumulates decided requests and cuts blocks at the size threshold."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        block_size: int,
+        on_block: Callable[[Block], None],
+        record_checkpoint: Callable[[int, int, bytes, bytes], None],
+        now_us: Callable[[], int],
+    ) -> None:
+        self._chain = chain
+        self._block_size = block_size
+        self._on_block = on_block
+        self._record_checkpoint = record_checkpoint
+        self._now_us = now_us
+        self._pending: list[tuple[int, SignedRequest]] = []
+        self.blocks_built = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def pending_size_bytes(self) -> int:
+        return sum(req.encoded_size() for _, req in self._pending)
+
+    def pending_digests(self) -> list[bytes]:
+        return [req.digest for _, req in self._pending]
+
+    def add(self, signed: SignedRequest, seq: int) -> Block | None:
+        """Append a decided request; returns the new block when one is cut."""
+        self._pending.append((seq, signed))
+        if len(self._pending) < self._block_size:
+            return None
+        return self._cut_block()
+
+    def _cut_block(self) -> Block:
+        requests = [req for _, req in self._pending]
+        last_sn = self._pending[-1][0]
+        self._pending.clear()
+        # The block timestamp must be identical on every replica or the block
+        # hashes (and thus the checkpoints) would diverge.  The reception
+        # timestamp inside the last ordered request is part of the agreed
+        # payload — deterministic — whereas each node's local clock is not.
+        block = build_block(
+            self._chain.head.header,
+            requests,
+            timestamp_us=requests[-1].request.recv_timestamp_us,
+            last_sn=last_sn,
+        )
+        self._chain.append(block)
+        self.blocks_built += 1
+        self._on_block(block)
+        # One checkpoint per block, signed by this replica (§III-C): the
+        # state digest covers the block hash, chain height, and still-open
+        # request digests, so 2f+1 matching checkpoints prove the block.
+        state_digest = checkpoint_state_digest(
+            block.block_hash, block.height, self.pending_digests()
+        )
+        self._record_checkpoint(last_sn, block.height, block.block_hash, state_digest)
+        return block

@@ -1,0 +1,56 @@
+"""ZugChain layer envelopes: backup broadcasts and primary forwards.
+
+``ZugBroadcast`` is the message a backup sends to all replicas when its
+soft timeout expires (Alg. 1 ln. 24); ``ZugForward`` is the relay of a
+received broadcast to the primary (ln. 32), which defeats a faulty
+broadcaster that omits the primary (fault case iv).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wire.codec import Reader, Writer
+from repro.wire.messages import SignedRequest
+
+
+@dataclass(frozen=True)
+class ZugBroadcast:
+    """Backup's broadcast of an unlogged request to the whole group."""
+
+    request: SignedRequest
+
+    def encode(self) -> bytes:
+        return self.request.encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ZugBroadcast":
+        return cls(request=SignedRequest.decode(data))
+
+    def encoded_size(self) -> int:
+        return self.request.encoded_size() + 1
+
+
+@dataclass(frozen=True)
+class ZugForward:
+    """Relay of a broadcast to the primary (preserves the origin's id/signature)."""
+
+    request: SignedRequest
+    forwarder_id: str
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_bytes(self.request.encode())
+        writer.put_str(self.forwarder_id)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ZugForward":
+        reader = Reader(data)
+        request = SignedRequest.decode(reader.get_bytes())
+        forwarder_id = reader.get_str()
+        reader.expect_end()
+        return cls(request=request, forwarder_id=forwarder_id)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())

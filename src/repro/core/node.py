@@ -1,0 +1,197 @@
+"""Full ZugChain node assembly.
+
+One node hosts (Fig. 3): the bus receiver, the ZugChain communication
+layer, the PBFT replica, the block builder writing the local blockchain,
+and (optionally) the replica-side export handler.  The class is runtime-
+agnostic — it is driven through ``on_bus_cycle`` and ``handle_message``
+and performs all side effects through its :class:`~repro.bft.env.Env`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.bft.config import BftConfig
+from repro.bft.messages import Checkpoint, Commit, NewView, PrePrepare, Prepare, ViewChange
+from repro.bft.replica import PbftReplica
+from repro.bft.env import Env
+from repro.bus.frames import BusCycleData
+from repro.bus.nsdb import Nsdb
+from repro.bus.reception import BusReceiver
+from repro.chain.block import Block
+from repro.chain.blockchain import Blockchain
+from repro.core.layer import ZugChainConfig, ZugChainLayer
+from repro.core.messages import ZugBroadcast, ZugForward
+from repro.core.statesync import StateRequest, StateReply, StateSync
+from repro.crypto.keys import KeyPair, KeyStore
+from repro.sim.monitor import LatencyRecorder
+from repro.wire.messages import Request, SignedRequest
+
+_BFT_MESSAGE_TYPES = (PrePrepare, Prepare, Commit, Checkpoint, ViewChange, NewView)
+
+
+class ZugChainNode:
+    """A recorder node running the ZugChain stack."""
+
+    def __init__(
+        self,
+        env: Env,
+        bft_config: BftConfig,
+        zug_config: ZugChainConfig,
+        keypair: KeyPair,
+        keystore: KeyStore,
+        nsdb: Nsdb,
+        chain_id: str = "zugchain",
+        on_block: Callable[[Block], None] | None = None,
+        replica_cls: type = PbftReplica,
+        block_store=None,
+    ) -> None:
+        self.env = env
+        self.id = env.node_id
+        self._nsdb = nsdb
+        self.receiver = BusReceiver(nsdb)
+        self._extra_receivers: dict[str, BusReceiver] = {}
+        self.chain = Blockchain(chain_id=chain_id)
+        self.latency = LatencyRecorder(name=f"{self.id}.latency")
+        self._recv_times: OrderedDict[bytes, float] = OrderedDict()
+        self._on_block_cb = on_block or (lambda block: None)
+
+        self.replica = replica_cls(
+            env=env,
+            config=bft_config,
+            keypair=keypair,
+            keystore=keystore,
+            on_decide=self._decided,
+            on_new_primary=self._new_primary,
+        )
+        self.layer = ZugChainLayer(
+            env=env,
+            config=zug_config,
+            keypair=keypair,
+            keystore=keystore,
+            propose=self.replica.propose,
+            suspect=self.replica.suspect,
+            on_log=self._log,
+            initial_primary=bft_config.primary_of_view(0),
+        )
+        from repro.core.blockbuilder import BlockBuilder  # avoid import cycle
+
+        self.builder = BlockBuilder(
+            chain=self.chain,
+            block_size=bft_config.checkpoint_interval,
+            on_block=self._block_built,
+            record_checkpoint=self.replica.record_checkpoint,
+            now_us=lambda: int(env.now() * 1e6),
+        )
+        self.export_handler: Any = None  # attached by repro.export
+        self.block_store = block_store   # optional on-disk persistence
+        self.statesync = StateSync(
+            env=env,
+            bft_config=bft_config,
+            keypair=keypair,
+            keystore=keystore,
+            chain=self.chain,
+            replica=self.replica,
+        )
+        self.requests_logged = 0
+
+    # -- bus side -----------------------------------------------------------------
+
+    def add_input_source(self, link_name: str, nsdb: Nsdb | None = None) -> BusReceiver:
+        """Attach an additional bus link (§III-C "Multiple Input Sources").
+
+        Each link gets its own receiver (and thus its own relevance-filter
+        state and request queue identity: the link name is part of every
+        request's content digest, so identical data on different buses is
+        logged per source).  Returns the receiver; wire its ``on_cycle``
+        into the extra bus via :meth:`on_bus_cycle_from`.
+        """
+        if link_name in self._extra_receivers or link_name == self.receiver.source_link:
+            raise ValueError(f"input source {link_name!r} already attached")
+        receiver = BusReceiver(nsdb or self._nsdb, source_link=link_name)
+        self._extra_receivers[link_name] = receiver
+        return receiver
+
+    def on_bus_cycle(self, cycle: BusCycleData) -> None:
+        self.on_bus_cycle_from(self.receiver, cycle)
+
+    def on_bus_cycle_from(self, receiver: BusReceiver, cycle: BusCycleData) -> None:
+        now_us = int(self.env.now() * 1e6)
+        request = receiver.on_cycle(cycle, now_us)
+        if request is None:
+            return
+        self._note_reception(request)
+        self.layer.receive(request)
+
+    def inject_request(self, request: Request) -> None:
+        """Feed a pre-parsed request directly (tests, secondary links)."""
+        self._note_reception(request)
+        self.layer.receive(request)
+
+    def _note_reception(self, request: Request) -> None:
+        digest = request.digest
+        if digest not in self._recv_times:
+            self._recv_times[digest] = self.env.now()
+            while len(self._recv_times) > 10_000:
+                self._recv_times.popitem(last=False)
+
+    # -- network side ---------------------------------------------------------------
+
+    def handle_message(self, src: str, message: Any) -> None:
+        """Dispatch one incoming consensus-network message."""
+        if isinstance(message, ZugBroadcast):
+            self.layer.on_broadcast(src, message)
+        elif isinstance(message, ZugForward):
+            self.layer.on_forward(src, message)
+        elif isinstance(message, StateRequest):
+            self.statesync.handle_request(src, message)
+        elif isinstance(message, StateReply):
+            self.statesync.handle_reply(src, message)
+            self.builder._pending.clear()  # checkpoint boundary == block boundary
+        elif isinstance(message, self.replica.MESSAGE_TYPES):
+            if isinstance(message, PrePrepare):
+                # §III-C optimization: a preprepare indicates the request
+                # will be ordered; cancel its soft timeout early.
+                self.layer.on_preprepare_observed(message.digest)
+            if isinstance(message, Checkpoint):
+                # Lag detection: peers checkpointing far beyond our state.
+                self.statesync.observe_checkpoint(src, message)
+            self.replica.on_message(src, message)
+        elif self.export_handler is not None:
+            self.export_handler.handle_message(src, message)
+
+    # -- internal upcalls -------------------------------------------------------------
+
+    def _decided(self, signed: SignedRequest, seq: int) -> None:
+        self.layer.on_decide(signed, seq)
+
+    def _log(self, signed: SignedRequest, seq: int) -> None:
+        received = self._recv_times.pop(signed.digest, None)
+        if received is not None:
+            self.latency.record(self.env.now(), self.env.now() - received)
+        self.requests_logged += 1
+        self.builder.add(signed, seq)
+
+    def _new_primary(self, primary_id: str) -> None:
+        self.layer.on_new_primary(primary_id)
+
+    def _block_built(self, block: Block) -> None:
+        if self.block_store is not None:
+            # Persist before acknowledging: data must survive power loss
+            # ("we persist the blockchain on disk", §V-B).
+            self.block_store.write(block)
+        if self.export_handler is not None:
+            self.export_handler.on_block_created(block)
+        self._on_block_cb(block)
+
+    # -- accounting --------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Dynamic memory footprint of the recorder's data structures."""
+        return (
+            self.layer.queue_size_bytes()
+            + self.replica.log_size_bytes()
+            + self.chain.total_size_bytes()
+            + self.builder.pending_size_bytes()
+        )

@@ -1,0 +1,62 @@
+"""Per-node open-request rate limiting.
+
+Fault case (iii) of §III-C: "a faulty node may broadcast a large number of
+requests to deteriorate performance.  To avoid this, ZugChain limits the
+number of open requests a node can send in parallel and other correct
+nodes drop any further received requests.  The limit is calculated based
+on the bus frequency."
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigError
+
+
+def limit_from_bus(cycle_time_s: float, hard_timeout_s: float, headroom: float = 2.0) -> int:
+    """Derive the open-request limit from the bus frequency.
+
+    A correct node has at most one new request per bus cycle, and a request
+    stays open at most ``hard_timeout`` before deciding or escalating; the
+    steady-state number of legitimately open requests is therefore bounded
+    by ``hard_timeout / cycle_time`` (times a headroom factor for delay and
+    reordering bursts).
+    """
+    if cycle_time_s <= 0:
+        raise ConfigError("cycle time must be positive")
+    return max(1, int(hard_timeout_s / cycle_time_s * headroom))
+
+
+class OpenRequestLimiter:
+    """Tracks open broadcast requests per origin node and enforces the cap."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigError("open-request limit must be >= 1")
+        self.limit = limit
+        self._open: dict[str, set[bytes]] = {}
+        self.rejected = 0
+
+    def try_acquire(self, node_id: str, digest: bytes) -> bool:
+        """Admit a broadcast from ``node_id``; False once its cap is reached."""
+        open_set = self._open.setdefault(node_id, set())
+        if digest in open_set:
+            return True  # re-delivery of an already-admitted request
+        if len(open_set) >= self.limit:
+            self.rejected += 1
+            return False
+        open_set.add(digest)
+        return True
+
+    def release(self, node_id: str, digest: bytes) -> None:
+        """Free a slot once the request decided (or was discarded)."""
+        open_set = self._open.get(node_id)
+        if open_set is not None:
+            open_set.discard(digest)
+
+    def release_digest(self, digest: bytes) -> None:
+        """Free the digest regardless of which node's slot holds it."""
+        for open_set in self._open.values():
+            open_set.discard(digest)
+
+    def open_count(self, node_id: str) -> int:
+        return len(self._open.get(node_id, ()))

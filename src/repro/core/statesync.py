@@ -1,0 +1,262 @@
+"""Replica state synchronization: catching up after downtime.
+
+§III-D's discussion (ii) covers "transferring a checkpoint to another
+replica": the receiving replica verifies the checkpoint certificate, the
+chain segment, and — when the chain does not start at genesis — the signed
+deletes that justify its base.  This module turns that into a live
+protocol so a node that was down (power cycle, maintenance) rejoins
+without replaying the full history:
+
+1. the lagging node notices stable checkpoints far beyond its execution
+   point (f+1 distinct peers vouching, so a single liar cannot trigger
+   bogus syncs) and sends a :class:`StateRequest` to one of them;
+2. the peer answers with a :class:`StateReply` carrying its latest stable
+   checkpoint certificate, the blocks from the requester's height, and its
+   prune certificate;
+3. the requester verifies everything offline and fast-forwards: chain,
+   replica watermarks, and block builder move to the checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.bft.checkpoint import CheckpointCertificate
+from repro.bft.config import BftConfig
+from repro.bft.messages import Checkpoint
+from repro.chain.block import Block
+from repro.chain.blockchain import Blockchain, PruneCertificate
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import SIGNATURE_SIZE, KeyPair, KeyStore
+from repro.util.errors import ChainError
+from repro.wire.codec import Reader, Writer
+
+_UNSIGNED = b"\x00" * SIGNATURE_SIZE
+_DOMAIN_STATE_REQ = b"statesync/request"
+_DOMAIN_STATE_REP = b"statesync/reply"
+
+
+@dataclass(frozen=True)
+class StateRequest:
+    """A lagging replica asks a peer for everything above ``have_height``."""
+
+    requester_id: str
+    have_height: int
+    signature: bytes = _UNSIGNED
+
+    def signing_payload(self) -> bytes:
+        return sha256(self.requester_id.encode(), self.have_height.to_bytes(8, "big"),
+                      domain=_DOMAIN_STATE_REQ)
+
+    def signed(self, keypair: KeyPair) -> "StateRequest":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.requester_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_str(self.requester_id)
+        writer.put_uint(self.have_height)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "StateRequest":
+        reader = Reader(data)
+        requester_id = reader.get_str()
+        have_height = reader.get_uint()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(requester_id=requester_id, have_height=have_height, signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class StateReply:
+    """Checkpointed state: certificate, chain segment, prune justification."""
+
+    replica_id: str
+    checkpoint: CheckpointCertificate
+    blocks: tuple[Block, ...]
+    prune_base_height: int
+    prune_base_hash: bytes
+    prune_signatures: tuple[tuple[str, bytes], ...]  # (dc id, signature)
+    signature: bytes = _UNSIGNED
+
+    def signing_payload(self) -> bytes:
+        return sha256(self.replica_id.encode(), self.checkpoint.encode(),
+                      *[block.block_hash for block in self.blocks],
+                      domain=_DOMAIN_STATE_REP)
+
+    def signed(self, keypair: KeyPair) -> "StateReply":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.replica_id, self.signing_payload(), self.signature)
+
+    def prune_certificate(self) -> PruneCertificate | None:
+        if not self.prune_signatures:
+            return None
+        return PruneCertificate(
+            base_height=self.prune_base_height,
+            base_block_hash=self.prune_base_hash,
+            delete_signatures=dict(self.prune_signatures),
+        )
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_str(self.replica_id)
+        writer.put_bytes(self.checkpoint.encode())
+        writer.put_list(list(self.blocks), lambda w, b: w.put_bytes(b.encode()))
+        writer.put_uint(self.prune_base_height)
+        writer.put_bytes(self.prune_base_hash)
+        writer.put_list(list(self.prune_signatures),
+                        lambda w, p: (w.put_str(p[0]), w.put_fixed(p[1], SIGNATURE_SIZE)))
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "StateReply":
+        reader = Reader(data)
+        replica_id = reader.get_str()
+        checkpoint = CheckpointCertificate.decode(reader.get_bytes())
+        blocks = reader.get_list(lambda r: Block.decode(r.get_bytes()))
+        prune_base_height = reader.get_uint()
+        prune_base_hash = reader.get_bytes()
+        prune_signatures = reader.get_list(
+            lambda r: (r.get_str(), r.get_fixed(SIGNATURE_SIZE))
+        )
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(replica_id=replica_id, checkpoint=checkpoint, blocks=tuple(blocks),
+                   prune_base_height=prune_base_height, prune_base_hash=prune_base_hash,
+                   prune_signatures=tuple(prune_signatures), signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+class StateSync:
+    """Per-node state-sync engine, driven by the node's message dispatch."""
+
+    def __init__(
+        self,
+        env,
+        bft_config: BftConfig,
+        keypair: KeyPair,
+        keystore: KeyStore,
+        chain: Blockchain,
+        replica,
+        lag_blocks: int = 3,
+    ) -> None:
+        self.env = env
+        self.bft_config = bft_config
+        self.keypair = keypair
+        self.keystore = keystore
+        self.chain = chain
+        self.replica = replica
+        self.lag_blocks = lag_blocks
+        #: Checkpoint seqs observed per peer (f+1 rule against liars).
+        self._observed_ahead: dict[str, int] = {}
+        self._sync_in_flight = False
+        self.syncs_completed = 0
+        self.syncs_rejected = 0
+
+    # -- lag detection -----------------------------------------------------------
+
+    def observe_checkpoint(self, src: str, checkpoint: Checkpoint) -> None:
+        """Called by the node for every checkpoint message it sees.
+
+        Lag is measured against the *chain*, not the replica's watermark:
+        a quorum of peer checkpoints advances the watermark on its own,
+        but only a state transfer can backfill the missing blocks.
+        """
+        if checkpoint.block_height <= self.chain.height + self.lag_blocks:
+            return
+        self._observed_ahead[src] = max(self._observed_ahead.get(src, 0),
+                                        checkpoint.block_height)
+        vouching = [peer for peer, height in self._observed_ahead.items()
+                    if height > self.chain.height + self.lag_blocks]
+        if len(vouching) >= self.bft_config.f + 1 and not self._sync_in_flight:
+            self._sync_in_flight = True
+            target = sorted(vouching)[0]
+            request = StateRequest(
+                requester_id=self.env.node_id, have_height=self.chain.height,
+            ).signed(self.keypair)
+            self.env.send(target, request)
+
+    # -- serving -------------------------------------------------------------------
+
+    def handle_request(self, src: str, request: StateRequest) -> None:
+        if not request.verify(self.keystore):
+            return
+        checkpoint = self.replica.latest_stable_checkpoint()
+        if checkpoint is None:
+            return
+        first = max(request.have_height + 1, self.chain.base_height)
+        last = min(checkpoint.block_height, self.chain.height)
+        if request.have_height < self.chain.base_height:
+            # The requester is behind our prune point: ship our whole chain
+            # (base included) plus the prune certificate that justifies it.
+            first = self.chain.base_height
+        blocks = tuple(self.chain.blocks_in_range(first, last)) if first <= last else ()
+        prune = self.chain.prune_certificate
+        reply = StateReply(
+            replica_id=self.env.node_id,
+            checkpoint=checkpoint,
+            blocks=blocks,
+            prune_base_height=prune.base_height if prune else 0,
+            prune_base_hash=prune.base_block_hash if prune else b"",
+            prune_signatures=tuple(prune.delete_signatures.items()) if prune else (),
+        ).signed(self.keypair)
+        self.env.send(request.requester_id, reply)
+
+    # -- applying ---------------------------------------------------------------------
+
+    def handle_reply(self, src: str, reply: StateReply) -> None:
+        self._sync_in_flight = False
+        if not reply.verify(self.keystore):
+            self.syncs_rejected += 1
+            return
+        if not reply.checkpoint.verify(self.keystore, self.bft_config):
+            self.syncs_rejected += 1
+            return
+        if reply.checkpoint.block_height <= self.chain.height:
+            return  # stale: the chain already covers this checkpoint
+        try:
+            self._apply(reply)
+        except ChainError:
+            self.syncs_rejected += 1
+            return
+        self.syncs_completed += 1
+
+    def _apply(self, reply: StateReply) -> None:
+        blocks = sorted(reply.blocks, key=lambda b: b.height)
+        if blocks and blocks[0].height != self.chain.height + 1:
+            # Non-contiguous with our chain — either the peer pruned past our
+            # head (its base is ahead of us) or the segment overlaps what we
+            # have.  Verify the candidate standalone (including its prune
+            # certificate when it does not start at genesis), then adopt it.
+            candidate = Blockchain.from_blocks(
+                blocks, chain_id=self.chain.chain_id,
+                prune_certificate=reply.prune_certificate(),
+            )
+            head = candidate.block_at(reply.checkpoint.block_height)
+            if head.block_hash != reply.checkpoint.block_hash:
+                raise ChainError("transferred chain does not match the checkpoint")
+            self.chain._blocks = candidate._blocks
+            self.chain.prune_certificate = candidate.prune_certificate
+        else:
+            # Incremental: extend our own chain block by block (append verifies).
+            for block in blocks:
+                self.chain.append(block)
+            if self.chain.height < reply.checkpoint.block_height:
+                raise ChainError("state reply did not reach the checkpoint height")
+            head = self.chain.block_at(reply.checkpoint.block_height)
+            if head.block_hash != reply.checkpoint.block_hash:
+                raise ChainError("synced chain head does not match the checkpoint")
+        self.replica.fast_forward(reply.checkpoint)

@@ -1,0 +1,42 @@
+"""Cryptographic substrate: hashing, Merkle trees, signatures, key management.
+
+The paper uses ``ring``'s Ed25519 on all protocol messages.  We provide two
+interchangeable signature schemes behind one interface:
+
+* :class:`~repro.crypto.keys.Ed25519Scheme` — a from-scratch RFC 8032
+  implementation (validated against the RFC test vectors in the test suite);
+* :class:`~repro.crypto.keys.HmacScheme` — an HMAC-SHA256 scheme with the
+  same API, used by large simulations where pure-Python Ed25519 wall-clock
+  cost would dominate.  Simulated CPU cost is charged identically for both
+  (see :mod:`repro.sim.resources`), so performance results do not depend on
+  which scheme executes.
+"""
+
+from repro.crypto.hashing import sha256, digest_hex, chain_hash, DOMAIN_BLOCK, DOMAIN_REQUEST, DOMAIN_CHECKPOINT
+from repro.crypto.merkle import MerkleTree, merkle_root, verify_merkle_proof
+from repro.crypto.keys import (
+    KeyPair,
+    KeyStore,
+    SignatureScheme,
+    Ed25519Scheme,
+    HmacScheme,
+    default_scheme,
+)
+
+__all__ = [
+    "sha256",
+    "digest_hex",
+    "chain_hash",
+    "DOMAIN_BLOCK",
+    "DOMAIN_REQUEST",
+    "DOMAIN_CHECKPOINT",
+    "MerkleTree",
+    "merkle_root",
+    "verify_merkle_proof",
+    "KeyPair",
+    "KeyStore",
+    "SignatureScheme",
+    "Ed25519Scheme",
+    "HmacScheme",
+    "default_scheme",
+]

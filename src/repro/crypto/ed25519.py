@@ -1,0 +1,157 @@
+"""Pure-Python Ed25519 (RFC 8032).
+
+The paper signs every protocol message with ``ring``'s Ed25519.  This module
+is a from-scratch implementation of the same scheme, validated against the
+RFC 8032 test vectors in ``tests/crypto/test_ed25519.py``.  It is correct but
+slow (~ms per operation in CPython), so large simulations default to the
+HMAC scheme in :mod:`repro.crypto.keys`; the simulated CPU *cost model*
+charges ARM-calibrated Ed25519 times either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.util.errors import CryptoError
+
+# Curve parameters for edwards25519 (RFC 8032 §5.1).
+P = 2**255 - 19
+L = 2**252 + 27742317777372353535851937790883648493
+D = (-121665 * pow(121666, P - 2, P)) % P
+
+_BY = 4 * pow(5, P - 2, P) % P
+_BX_SQ = (_BY * _BY - 1) * pow(D * _BY * _BY + 1, P - 2, P) % P
+
+
+def _sqrt_mod_p(value: int) -> int:
+    """Square root modulo P (P ≡ 5 mod 8), per RFC 8032 decoding rules."""
+    candidate = pow(value, (P + 3) // 8, P)
+    if (candidate * candidate) % P == value % P:
+        return candidate
+    candidate = candidate * pow(2, (P - 1) // 4, P) % P
+    if (candidate * candidate) % P == value % P:
+        return candidate
+    raise CryptoError("no square root exists")
+
+
+_BX = _sqrt_mod_p(_BX_SQ)
+if _BX % 2 != 0:
+    _BX = P - _BX
+
+# Points are extended homogeneous coordinates (X, Y, Z, T) with x=X/Z, y=Y/Z, T=XY/Z.
+_BASE = (_BX, _BY, 1, (_BX * _BY) % P)
+_IDENTITY = (0, 1, 1, 0)
+
+Point = tuple[int, int, int, int]
+
+
+def _point_add(a: Point, b: Point) -> Point:
+    """Add two points (RFC 8032 §5.1.4, add-2008-hwcd-3)."""
+    x1, y1, z1, t1 = a
+    x2, y2, z2, t2 = b
+    e1 = (y1 - x1) * (y2 - x2) % P
+    e2 = (y1 + x1) * (y2 + x2) % P
+    e3 = 2 * t1 * t2 % P * D % P
+    e4 = 2 * z1 * z2 % P
+    e5 = e2 - e1
+    e6 = e4 - e3
+    e7 = e4 + e3
+    e8 = e2 + e1
+    return (e5 * e6 % P, e7 * e8 % P, e6 * e7 % P, e5 * e8 % P)
+
+
+def _point_mul(scalar: int, point: Point) -> Point:
+    """Scalar multiplication via double-and-add."""
+    result = _IDENTITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+def _point_equal(a: Point, b: Point) -> bool:
+    x1, y1, z1, _ = a
+    x2, y2, z2, _ = b
+    if (x1 * z2 - x2 * z1) % P != 0:
+        return False
+    return (y1 * z2 - y2 * z1) % P == 0
+
+
+def _point_compress(point: Point) -> bytes:
+    x, y, z, _ = point
+    zinv = pow(z, P - 2, P)
+    x = x * zinv % P
+    y = y * zinv % P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _point_decompress(data: bytes) -> Point:
+    if len(data) != 32:
+        raise CryptoError("compressed point must be 32 bytes")
+    y = int.from_bytes(data, "little")
+    sign = y >> 255
+    y &= (1 << 255) - 1
+    if y >= P:
+        raise CryptoError("point y-coordinate out of range")
+    x_sq = (y * y - 1) * pow(D * y * y + 1, P - 2, P) % P
+    try:
+        x = _sqrt_mod_p(x_sq)
+    except CryptoError as exc:
+        raise CryptoError("invalid point encoding") from exc
+    if x == 0 and sign:
+        raise CryptoError("invalid point sign")
+    if x % 2 != sign:
+        x = P - x
+    return (x, y, 1, (x * y) % P)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _secret_expand(secret: bytes) -> tuple[int, bytes]:
+    if len(secret) != 32:
+        raise CryptoError("Ed25519 secret key must be 32 bytes")
+    digest = _sha512(secret)
+    scalar = int.from_bytes(digest[:32], "little")
+    scalar &= (1 << 254) - 8
+    scalar |= 1 << 254
+    return scalar, digest[32:]
+
+
+def secret_to_public(secret: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret key."""
+    scalar, _ = _secret_expand(secret)
+    return _point_compress(_point_mul(scalar, _BASE))
+
+
+def sign(secret: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature over ``message``."""
+    scalar, prefix = _secret_expand(secret)
+    public = _point_compress(_point_mul(scalar, _BASE))
+    r = int.from_bytes(_sha512(prefix + message), "little") % L
+    r_point = _point_compress(_point_mul(r, _BASE))
+    h = int.from_bytes(_sha512(r_point + public + message), "little") % L
+    s = (r + h * scalar) % L
+    return r_point + s.to_bytes(32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check a 64-byte signature against a 32-byte public key."""
+    if len(public) != 32 or len(signature) != 64:
+        return False
+    try:
+        a_point = _point_decompress(public)
+        r_point = _point_decompress(signature[:32])
+    except CryptoError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        return False
+    h = int.from_bytes(_sha512(signature[:32] + public + message), "little") % L
+    left = _point_mul(s, _BASE)
+    right = _point_add(r_point, _point_mul(h, a_point))
+    return _point_equal(left, right)

@@ -1,0 +1,39 @@
+"""Secure data-center export and blockchain pruning (§III-D).
+
+Implements the seven-step export flow of Fig. 4: data centers *read* the
+latest stable checkpoint from 2f+1 replicas (full blocks from one),
+verify the chain against the 2f+1-signed checkpoint certificate,
+synchronize among themselves, then issue signed *deletes* that let the
+replicas prune the on-train chain — keeping the last exported block as the
+new base.  Export bypasses consensus entirely (stable checkpoints are no
+longer active state), so it can never delay the juridical logging.
+"""
+
+from repro.export.messages import (
+    BlockFetch,
+    BlockFetchReply,
+    DcSync,
+    DeleteAck,
+    DeleteRequest,
+    ReadReply,
+    ReadRequest,
+)
+from repro.export.replica_side import ExportHandler, ExportConfig
+from repro.export.datacenter import DataCenter, DataCenterConfig, ExportRound
+from repro.export.seed import seed_chain_and_checkpoints
+
+__all__ = [
+    "ReadRequest",
+    "ReadReply",
+    "DcSync",
+    "DeleteRequest",
+    "DeleteAck",
+    "BlockFetch",
+    "BlockFetchReply",
+    "ExportHandler",
+    "ExportConfig",
+    "DataCenter",
+    "DataCenterConfig",
+    "ExportRound",
+    "seed_chain_and_checkpoints",
+]

@@ -1,0 +1,143 @@
+"""Export experiment scenario: replicas behind LTE, data centers in the cloud.
+
+Assembles the Table II setup — four replicas with seeded chains connected
+over an 8.5 Mbit/s LTE uplink to one or more data centers — and runs
+export rounds, reporting per-phase latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bft.checkpoint import CheckpointCertificate
+from repro.bft.config import BftConfig
+from repro.export.datacenter import DataCenter, DataCenterConfig, ExportRound
+from repro.export.replica_side import ExportConfig, ExportHandler
+from repro.export.seed import clone_chain, seed_chain_and_checkpoints
+from repro.runtime.env import SimEnv
+from repro.sim.kernel import Kernel
+from repro.sim.network import LinkSpec, Network
+from repro.sim.resources import CostModel, CpuAccount
+from repro.crypto.keys import KeyStore, default_scheme
+from repro.util.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class ExportScenarioConfig:
+    n_replicas: int = 4
+    n_datacenters: int = 2
+    n_blocks: int = 500
+    requests_per_block: int = 10
+    payload_bytes: int = 64
+    delete_quorum: int = 2
+    seed: int = 42
+    lte: LinkSpec | None = None
+
+
+class ExportScenario:
+    """One assembled export deployment over a simulated LTE uplink."""
+
+    def __init__(self, config: ExportScenarioConfig) -> None:
+        self.config = config
+        self.kernel = Kernel()
+        self.rng = RngRegistry(config.seed)
+        self.model = CostModel()
+        scheme = default_scheme(fast=True)
+        self.network = Network(
+            self.kernel, self.rng.stream("lte"),
+            config.lte or LinkSpec.lte_uplink(), name="lte",
+        )
+
+        self.replica_ids = [f"node-{i}" for i in range(config.n_replicas)]
+        self.dc_ids = [f"dc-{i}" for i in range(config.n_datacenters)]
+        self.bft_config = BftConfig(replica_ids=tuple(self.replica_ids))
+        self.keystore = KeyStore(scheme=scheme)
+        keypairs = {}
+        for pid in self.replica_ids + self.dc_ids:
+            pair = scheme.derive_keypair(pid.encode())
+            keypairs[pid] = pair
+            self.keystore.register(pid, pair.public)
+
+        chain, certs = seed_chain_and_checkpoints(
+            self.bft_config, keypairs, config.n_blocks,
+            requests_per_block=config.requests_per_block,
+            payload_bytes=config.payload_bytes,
+        )
+        self._certs = certs
+
+        self.handlers: dict[str, ExportHandler] = {}
+        for replica_id in self.replica_ids:
+            cpu = CpuAccount(self.kernel, self.model, name=replica_id)
+            env = SimEnv(replica_id, self.kernel, self.network, cpu, self.model)
+            replica_chain = clone_chain(chain)
+            handler = ExportHandler(
+                env=env,
+                config=ExportConfig(delete_quorum=config.delete_quorum),
+                bft_config=self.bft_config,
+                keypair=keypairs[replica_id],
+                keystore=self.keystore,
+                chain=replica_chain,
+                latest_checkpoint=self._latest_cert_getter(replica_chain),
+            )
+            self.handlers[replica_id] = handler
+            self.network.register(replica_id, self._replica_inbox(handler))
+
+        # Data centers run on cloud VMs: ingest is effectively free compared
+        # to the LTE link, so their inbox dispatches directly.
+        self.datacenters: dict[str, DataCenter] = {}
+        for dc_id in self.dc_ids:
+            cpu = CpuAccount(self.kernel, self.model, name=dc_id)
+            env = SimEnv(dc_id, self.kernel, self.network, cpu, self.model)
+            dc = DataCenter(
+                env=env,
+                config=DataCenterConfig(
+                    dc_id=dc_id,
+                    replica_ids=tuple(self.replica_ids),
+                    peer_dc_ids=tuple(p for p in self.dc_ids if p != dc_id),
+                ),
+                bft_config=self.bft_config,
+                keypair=keypairs[dc_id],
+                keystore=self.keystore,
+                rng=self.rng.stream(f"dc:{dc_id}"),
+            )
+            self.datacenters[dc_id] = dc
+            self.network.register(dc_id, self._dc_inbox(dc))
+
+        # Inter-datacenter traffic rides datacenter fiber, not the train's LTE.
+        fiber = LinkSpec(latency_s=5e-3, jitter_s=1e-3, bandwidth_bps=1e9)
+        for a in self.dc_ids:
+            for b in self.dc_ids:
+                if a != b:
+                    self.network.set_link(a, b, fiber)
+
+    def _latest_cert_getter(self, chain):
+        def latest() -> CheckpointCertificate | None:
+            height = chain.height
+            while height > chain.base_height:
+                cert = self._certs.get(height)
+                if cert is not None:
+                    return cert
+                height -= 1
+            return self._certs.get(chain.height)
+        return latest
+
+    def _replica_inbox(self, handler: ExportHandler):
+        def deliver(src, message, size) -> None:
+            handler.handle_message(src, message)
+        return deliver
+
+    def _dc_inbox(self, dc: DataCenter):
+        def deliver(src, message, size) -> None:
+            dc.handle_message(src, message)
+        return deliver
+
+    # -- driving -------------------------------------------------------------------
+
+    def run_export(self, dc_id: str = "dc-0", timeout_s: float = 3600.0) -> ExportRound:
+        dc = self.datacenters[dc_id]
+        round_ = dc.start_export()
+        deadline = self.kernel.now + timeout_s
+        while not round_.complete and self.kernel.now < deadline:
+            if not self.kernel.step():
+                break
+        return round_

@@ -1,0 +1,17 @@
+"""Byzantine behaviour library for fault-injection experiments (Fig. 8/9)."""
+
+from repro.faults.behaviors import (
+    ByzantineSpec,
+    FabricatingNode,
+    DelayingPrimaryReplica,
+    DuplicateProposingLayer,
+    make_zugchain_node,
+)
+
+__all__ = [
+    "ByzantineSpec",
+    "FabricatingNode",
+    "DelayingPrimaryReplica",
+    "DuplicateProposingLayer",
+    "make_zugchain_node",
+]

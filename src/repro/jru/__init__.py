@@ -1,0 +1,32 @@
+"""JRU domain layer: legacy recorder model, requirements, reliability math.
+
+* :mod:`repro.jru.legacy`       — the centralized JRU being replaced: ring
+  buffer in flash, single point of failure, physical-key extraction;
+* :mod:`repro.jru.requirements` — IEC 62625-style requirement checks the
+  evaluation validates ZugChain against (§V-B "Comparison to JRU
+  Requirements");
+* :mod:`repro.jru.reliability`  — the Braband-et-al.-style survival
+  analysis that justifies replacing one hardened device with replicated
+  commodity nodes.
+"""
+
+from repro.jru.legacy import LegacyJru, LegacyJruConfig
+from repro.jru.requirements import JruRequirements, RequirementReport, check_requirements
+from repro.jru.reliability import (
+    survival_probability,
+    data_loss_probability,
+    required_nodes_for_target,
+    mtbf_availability,
+)
+
+__all__ = [
+    "LegacyJru",
+    "LegacyJruConfig",
+    "JruRequirements",
+    "RequirementReport",
+    "check_requirements",
+    "survival_probability",
+    "data_loss_probability",
+    "required_nodes_for_target",
+    "mtbf_availability",
+]

@@ -1,0 +1,116 @@
+"""Braband-style reliability analysis of a distributed JRU.
+
+Braband & Schäbe (2021) argue via crash statistics that a JRU replicated
+across commodity nodes reaches the reliability of the hardened device: the
+probability that *all* replicas are destroyed in an accident is low enough
+that at least one record survives.  This module reproduces that style of
+analysis: per-node destruction probabilities (possibly positionally
+correlated along the train), the survival probability of at least one (or
+k) records, and the node count needed for a target.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import ConfigError
+
+
+def survival_probability(
+    destroy_probs: list[float],
+    min_survivors: int = 1,
+    correlation: float = 0.0,
+) -> float:
+    """Probability that at least ``min_survivors`` node records survive.
+
+    ``destroy_probs[i]`` is node i's destruction probability in the
+    incident.  ``correlation`` in [0, 1) mixes in a common-cause event that
+    destroys every node at once (e.g. a fire spanning the whole train):
+    with probability ``correlation`` all nodes fail together, otherwise
+    failures are independent — a standard beta-factor common-cause model.
+    """
+    if not destroy_probs:
+        raise ConfigError("need at least one node")
+    if not 0 <= correlation < 1:
+        raise ConfigError("correlation must be in [0, 1)")
+    for p in destroy_probs:
+        if not 0 <= p <= 1:
+            raise ConfigError(f"probability {p} outside [0, 1]")
+    if not 1 <= min_survivors <= len(destroy_probs):
+        raise ConfigError("min_survivors outside [1, n]")
+
+    n = len(destroy_probs)
+    # P(at least k survive | independent) via dynamic programming over nodes.
+    # dp[j] = probability that exactly j nodes survived so far.
+    dp = [1.0] + [0.0] * n
+    for p_destroy in destroy_probs:
+        p_survive = 1.0 - p_destroy
+        nxt = [0.0] * (n + 1)
+        for j, prob in enumerate(dp):
+            if prob == 0.0:
+                continue
+            nxt[j] += prob * p_destroy
+            nxt[j + 1] += prob * p_survive
+        dp = nxt
+    independent = sum(dp[min_survivors:])
+    return (1.0 - correlation) * independent  # common-cause event kills all
+
+
+def data_loss_probability(
+    per_node_destroy: float,
+    n_nodes: int,
+    correlation: float = 0.0,
+) -> float:
+    """Probability that *no* record survives (homogeneous nodes)."""
+    if n_nodes < 1:
+        raise ConfigError("need at least one node")
+    survive = survival_probability([per_node_destroy] * n_nodes, 1, correlation)
+    return 1.0 - survive
+
+
+def required_nodes_for_target(
+    per_node_destroy: float,
+    target_loss_prob: float,
+    correlation: float = 0.0,
+    max_nodes: int = 64,
+) -> int | None:
+    """Smallest node count whose data-loss probability meets the target.
+
+    Returns None when the target is unreachable (e.g. the common-cause
+    floor ``correlation`` already exceeds it) within ``max_nodes``.
+    """
+    if not 0 < target_loss_prob < 1:
+        raise ConfigError("target must be in (0, 1)")
+    for n in range(1, max_nodes + 1):
+        if data_loss_probability(per_node_destroy, n, correlation) <= target_loss_prob:
+            return n
+    return None
+
+
+def mtbf_availability(mtbf_hours: float, mttr_hours: float) -> float:
+    """Steady-state availability of one commodity node.
+
+    Braband et al. assume commodity hardware with an MTBF of 20 000 h;
+    combined with a repair time this gives the per-node availability used
+    when sizing the replica group (a failed node is simply absent until
+    the next maintenance).
+    """
+    if mtbf_hours <= 0 or mttr_hours < 0:
+        raise ConfigError("MTBF must be positive and MTTR non-negative")
+    return mtbf_hours / (mtbf_hours + mttr_hours)
+
+
+def group_availability(node_availability: float, n: int, quorum: int) -> float:
+    """Probability that at least ``quorum`` of ``n`` nodes are operational."""
+    if not 0 <= node_availability <= 1:
+        raise ConfigError("availability must be in [0, 1]")
+    if not 1 <= quorum <= n:
+        raise ConfigError("quorum outside [1, n]")
+    total = 0.0
+    for k in range(quorum, n + 1):
+        total += (
+            math.comb(n, k)
+            * node_availability**k
+            * (1 - node_availability) ** (n - k)
+        )
+    return total

@@ -1,0 +1,102 @@
+"""IEC 62625-style requirement checks.
+
+§V-B, "Comparison to JRU Requirements": a data recorder has to prevent
+data from being deleted, changed, or overwritten; ensure data integrity;
+offer data extraction; and store events within 500 ms of arrival at a rate
+of 10 events per second.  ``check_requirements`` evaluates a measured
+scenario result against these bounds and produces the report used by the
+JRU-requirements benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scenarios.cluster import ScenarioResult
+from repro.sim.resources import CostModel
+
+
+@dataclass(frozen=True)
+class JruRequirements:
+    """The numeric requirements the paper cites."""
+
+    store_deadline_s: float = 0.500
+    min_events_per_s: float = 10.0
+    max_shared_cpu_fraction: float = 0.15  # the paper's shared-device target
+
+
+@dataclass
+class RequirementCheck:
+    name: str
+    passed: bool
+    measured: str
+    required: str
+
+
+@dataclass
+class RequirementReport:
+    checks: list[RequirementCheck] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def add(self, name: str, passed: bool, measured: str, required: str) -> None:
+        self.checks.append(RequirementCheck(name, passed, measured, required))
+
+    def lines(self) -> list[str]:
+        out = []
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            out.append(f"[{status}] {check.name}: measured {check.measured} (required {check.required})")
+        return out
+
+
+def check_requirements(
+    result: ScenarioResult,
+    requirements: JruRequirements | None = None,
+    model: CostModel | None = None,
+    persist_payload_bytes: int = 8192,
+) -> RequirementReport:
+    """Validate one measured run against the JRU requirements.
+
+    The storage deadline covers ordering latency plus the block persist
+    time (the paper adds 5.03 ms for writing an 8 kB-payload block).
+    """
+    requirements = requirements or JruRequirements()
+    model = model or CostModel()
+    report = RequirementReport()
+
+    events_per_s = 1.0 / result.cycle_time_s
+    report.add(
+        "event rate",
+        events_per_s >= requirements.min_events_per_s,
+        f"{events_per_s:.1f} events/s",
+        f">= {requirements.min_events_per_s:.0f} events/s",
+    )
+
+    block_bytes = persist_payload_bytes * 10  # block of 10 requests
+    persist_s = model.disk_write_cost(block_bytes)
+    store_latency = result.max_latency_s + persist_s
+    report.add(
+        "store deadline",
+        store_latency <= requirements.store_deadline_s,
+        f"{store_latency * 1000:.1f} ms (order {result.max_latency_s * 1000:.1f} + persist {persist_s * 1000:.2f})",
+        f"<= {requirements.store_deadline_s * 1000:.0f} ms",
+    )
+
+    report.add(
+        "no data loss",
+        result.requests_logged >= result.requests_expected - 1,
+        f"{result.requests_logged}/{result.requests_expected} requests logged",
+        "every bus cycle logged",
+    )
+
+    report.add(
+        "shared CPU budget",
+        result.cpu_utilization <= requirements.max_shared_cpu_fraction,
+        f"{result.cpu_utilization * 100:.1f} % of total CPU",
+        f"<= {requirements.max_shared_cpu_fraction * 100:.0f} %",
+    )
+
+    return report

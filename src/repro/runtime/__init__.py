@@ -1,0 +1,14 @@
+"""Simulation runtime: binds sans-IO protocol nodes to the DES substrate."""
+
+from repro.runtime.costs import ETHERNET_OVERHEAD_BYTES, recv_cost, send_cost, wire_size
+from repro.runtime.env import SimEnv
+from repro.runtime.host import NodeHost
+
+__all__ = [
+    "SimEnv",
+    "NodeHost",
+    "send_cost",
+    "recv_cost",
+    "wire_size",
+    "ETHERNET_OVERHEAD_BYTES",
+]

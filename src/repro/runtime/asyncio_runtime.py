@@ -1,0 +1,187 @@
+"""Real-transport runtime: the same sans-IO nodes over asyncio TCP.
+
+The protocol stack (ZugChain layer, PBFT replica, block builder) is the
+identical code that runs in the deterministic simulator — only the
+:class:`~repro.bft.env.Env` implementation changes.  This runtime exists
+to demonstrate that the sans-IO design is deployable: nodes listen on TCP
+sockets, messages travel length-prefixed with their registry tags
+(:mod:`repro.wire.tags`), and timers come from the event loop.
+
+Connections carry a one-line hello (``zc1 <node-id>\\n``) identifying the
+sender; message authenticity rests on the protocol-level signatures, as on
+the train Ethernet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import repro.wire.tags  # noqa: F401  (registers all message types)
+from repro.wire.registry import decode_message, encode_message
+
+_HELLO_PREFIX = b"zc1 "
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+class _LoopTimer:
+    """Env timer backed by ``loop.call_later``."""
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self._fired_or_cancelled = False
+
+    def mark_fired(self) -> None:
+        self._fired_or_cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self._fired_or_cancelled
+
+    def cancel(self) -> None:
+        self._fired_or_cancelled = True
+        self._handle.cancel()
+
+
+class AsyncioEnv:
+    """Env implementation over asyncio TCP connections."""
+
+    def __init__(self, node_id: str, peers: dict[str, tuple[str, int]]) -> None:
+        self._node_id = node_id
+        self._peers = dict(peers)
+        self._writers: dict[str, asyncio.StreamWriter] = {}
+        self._loop = asyncio.get_event_loop()
+        self.send_errors = 0
+
+    @property
+    def node_id(self) -> str:
+        return self._node_id
+
+    def now(self) -> float:
+        return self._loop.time()
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> _LoopTimer:
+        timer_box: list[_LoopTimer] = []
+
+        def _fire() -> None:
+            if timer_box and timer_box[0].active:
+                timer_box[0].mark_fired()
+                callback()
+
+        handle = self._loop.call_later(delay, _fire)
+        timer = _LoopTimer(handle)
+        timer_box.append(timer)
+        return timer
+
+    async def connect_all(self) -> None:
+        """Open outgoing connections to every peer (call once all listen)."""
+        for peer_id, (host, port) in self._peers.items():
+            if peer_id == self._node_id or peer_id in self._writers:
+                continue
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(_HELLO_PREFIX + self._node_id.encode() + b"\n")
+            await writer.drain()
+            self._writers[peer_id] = writer
+
+    def send(self, dst: str, message: Any) -> None:
+        writer = self._writers.get(dst)
+        if writer is None or writer.is_closing():
+            self.send_errors += 1
+            return
+        frame = encode_message(message)
+        writer.write(len(frame).to_bytes(4, "big") + frame)
+
+    def broadcast(self, message: Any) -> None:
+        frame = encode_message(message)
+        wire = len(frame).to_bytes(4, "big") + frame
+        for peer_id, writer in self._writers.items():
+            if writer.is_closing():
+                self.send_errors += 1
+                continue
+            writer.write(wire)
+
+    async def close(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+
+@dataclass
+class _Hosted:
+    node: Any
+    env: AsyncioEnv
+    server: asyncio.AbstractServer
+
+
+class AsyncioCluster:
+    """N ZugChain nodes on localhost TCP, fed by an in-process bus source.
+
+    The bus is local to each node in the real deployment too (every node
+    reads the MVB directly), so the feeder injects parsed requests via
+    ``node.inject_request`` rather than tunnelling telegrams over TCP.
+    """
+
+    def __init__(self, node_factory: Callable[[AsyncioEnv], Any], n: int = 4,
+                 host: str = "127.0.0.1", base_port: int = 0) -> None:
+        self._factory = node_factory
+        self.n = n
+        self._host = host
+        self._base_port = base_port
+        self.hosted: dict[str, _Hosted] = {}
+        self.peers: dict[str, tuple[str, int]] = {}
+
+    async def start(self) -> None:
+        # Bind servers first (ephemeral ports when base_port == 0) ...
+        pending: list[tuple[str, AsyncioEnv]] = []
+        for index in range(self.n):
+            node_id = f"node-{index}"
+            env = AsyncioEnv(node_id, self.peers)  # peers filled in below
+            node = self._factory(env)
+            server = await asyncio.start_server(
+                self._connection_handler(node),
+                self._host,
+                self._base_port + index if self._base_port else 0,
+            )
+            port = server.sockets[0].getsockname()[1]
+            self.peers[node_id] = (self._host, port)
+            self.hosted[node_id] = _Hosted(node=node, env=env, server=server)
+            pending.append((node_id, env))
+        # ... then connect everyone to everyone.
+        for node_id, env in pending:
+            env._peers.update(self.peers)
+            await env.connect_all()
+
+    def _connection_handler(self, node):
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            try:
+                hello = await reader.readline()
+                if not hello.startswith(_HELLO_PREFIX):
+                    writer.close()
+                    return
+                src = hello[len(_HELLO_PREFIX):].strip().decode()
+                while True:
+                    header = await reader.readexactly(4)
+                    length = int.from_bytes(header, "big")
+                    if length > _MAX_FRAME:
+                        break
+                    frame = await reader.readexactly(length)
+                    message, _ = decode_message(frame)
+                    node.handle_message(src, message)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                pass
+            finally:
+                writer.close()
+        return handle
+
+    def node(self, node_id: str):
+        return self.hosted[node_id].node
+
+    def nodes(self):
+        return {node_id: hosted.node for node_id, hosted in self.hosted.items()}
+
+    async def stop(self) -> None:
+        for hosted in self.hosted.values():
+            await hosted.env.close()
+            hosted.server.close()
+            await hosted.server.wait_closed()

@@ -1,0 +1,12 @@
+"""Scenario builders: complete simulated deployments in one call.
+
+:class:`~repro.scenarios.cluster.SimulatedCluster` assembles the testbed of
+§V-A — four recorder nodes on a 100 Mbit/s consensus Ethernet, an MVB with
+a train-dynamics signal source, and either the ZugChain stack or the
+traditional-client baseline — and exposes the measurements the evaluation
+reports (latency, network utilization, CPU, memory).
+"""
+
+from repro.scenarios.cluster import ScenarioConfig, SimulatedCluster, ScenarioResult
+
+__all__ = ["ScenarioConfig", "SimulatedCluster", "ScenarioResult"]

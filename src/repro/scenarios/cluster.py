@@ -1,0 +1,315 @@
+"""The simulated testbed (§V-A) as a reusable scenario.
+
+Mirrors the hardware setup: four M-COM-class nodes (quad-core CPU model)
+joined by 100 Mbit/s Ethernet for consensus, all reading an MVB whose
+master emits one cycle every ``cycle_time_s`` with a configurable
+consolidated payload size.  The same scenario builds either system under
+test ("zugchain" or "baseline"), with optional per-node Byzantine specs
+and bus reception faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bft.config import BftConfig
+from repro.bus.faults import ReceptionFaultConfig
+from repro.bus.generator import GeneratorConfig, TrainDynamicsGenerator
+from repro.bus.master import BusConfig, MvbMaster
+from repro.bus.nsdb import standard_jru_catalog
+from repro.chain.blockchain import PruneCertificate
+from repro.core.baseline import BaselineNode
+from repro.core.layer import ZugChainConfig
+from repro.core.node import ZugChainNode
+from repro.crypto.keys import KeyStore, default_scheme
+from repro.faults.behaviors import ByzantineSpec, make_zugchain_node
+from repro.runtime.env import SimEnv
+from repro.runtime.host import NodeHost
+from repro.sim.kernel import Kernel
+from repro.sim.monitor import LatencyRecorder, TimeSeries
+from repro.sim.network import LinkSpec, Network
+from repro.sim.resources import CostModel, CpuAccount, MemoryAccount
+from repro.util.errors import ConfigError
+from repro.util.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything a run needs; defaults reproduce the paper's main setting."""
+
+    system: str = "zugchain"             # "zugchain" | "baseline"
+    n: int = 4
+    seed: int = 42
+    cycle_time_s: float = 0.064
+    payload_bytes: int = 1024
+    block_size: int = 10
+    soft_timeout_s: float = 0.250
+    hard_timeout_s: float = 0.250
+    view_change_timeout_s: float = 0.500
+    retention_s: float = 45.0            # auto-prune window (export stand-in)
+    sample_interval_s: float = 1.0
+    preprepare_cancels_soft: bool = True
+    filtering_enabled: bool = True
+    max_open_per_node: int = 16
+    bft_backend: str = "pbft"            # "pbft" | "linear"
+    bus_faults: dict[str, ReceptionFaultConfig] = field(default_factory=dict)
+    byzantine: dict[str, ByzantineSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.system not in ("zugchain", "baseline"):
+            raise ConfigError(f"unknown system {self.system!r}")
+        if self.bft_backend not in ("pbft", "linear"):
+            raise ConfigError(f"unknown BFT backend {self.bft_backend!r}")
+        if self.n < 4:
+            raise ConfigError("the testbed requires n >= 4 (f >= 1)")
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements of one run, in the units the paper reports."""
+
+    system: str
+    cycle_time_s: float
+    payload_bytes: int
+    duration_s: float
+    mean_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    requests_logged: int
+    requests_expected: int
+    network_utilization: float          # fraction of the 100 Mbit/s egress (mean over nodes)
+    cpu_utilization: float              # fraction of total 4-core CPU (max over nodes)
+    memory_mean_bytes: float
+    memory_peak_bytes: float
+    view_changes: int
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.system:9s} cycle={self.cycle_time_s * 1000:6.1f}ms "
+            f"payload={self.payload_bytes:5d}B "
+            f"lat={self.mean_latency_s * 1000:8.2f}ms "
+            f"net={self.network_utilization * 100:6.2f}% "
+            f"cpu={self.cpu_utilization * 100:5.1f}% "
+            f"mem={self.memory_mean_bytes / 1e6:6.2f}MB"
+        )
+
+
+class SimulatedCluster:
+    """One assembled deployment, ready to run and measure."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.kernel = Kernel()
+        self.rng = RngRegistry(config.seed)
+        self.model = CostModel()
+        self.scheme = default_scheme(fast=True)
+        self.network = Network(
+            self.kernel, self.rng.stream("ethernet"), LinkSpec.train_ethernet()
+        )
+        self.nsdb = standard_jru_catalog()
+        self.generator = TrainDynamicsGenerator(
+            self.nsdb,
+            GeneratorConfig(target_payload_bytes=config.payload_bytes),
+            self.rng,
+        )
+        self.master = MvbMaster(
+            self.kernel, self.generator, BusConfig(cycle_time_s=config.cycle_time_s),
+            self.rng,
+        )
+
+        self.ids = [f"node-{i}" for i in range(config.n)]
+        self.bft_config = BftConfig(
+            replica_ids=tuple(self.ids),
+            checkpoint_interval=config.block_size,
+            view_change_timeout_s=config.view_change_timeout_s,
+            max_open_per_node=config.max_open_per_node,
+        )
+        self.keystore = KeyStore(scheme=self.scheme)
+        keypairs = {}
+        for node_id in self.ids:
+            pair = self.scheme.derive_keypair(node_id.encode())
+            keypairs[node_id] = pair
+            self.keystore.register(node_id, pair.public)
+
+        self.cpus: dict[str, CpuAccount] = {}
+        self.nodes: dict[str, object] = {}
+        self.hosts: dict[str, NodeHost] = {}
+        self.memory_series: dict[str, TimeSeries] = {}
+
+        zug_config = ZugChainConfig(
+            soft_timeout_s=config.soft_timeout_s,
+            hard_timeout_s=config.hard_timeout_s,
+            checkpoint_interval=config.block_size,
+            max_open_per_node=config.max_open_per_node,
+            preprepare_cancels_soft=config.preprepare_cancels_soft,
+            filtering_enabled=config.filtering_enabled,
+        )
+
+        for node_id in self.ids:
+            cpu = CpuAccount(self.kernel, self.model, name=node_id)
+            self.cpus[node_id] = cpu
+            env = SimEnv(node_id, self.kernel, self.network, cpu, self.model)
+            spec = config.byzantine.get(node_id, ByzantineSpec())
+            if config.system == "zugchain":
+                from repro.bft.linear import LinearBftReplica
+                from repro.bft.replica import PbftReplica
+
+                replica_cls = LinearBftReplica if config.bft_backend == "linear" else PbftReplica
+                node = make_zugchain_node(
+                    spec,
+                    self.rng.stream(f"byzantine:{node_id}"),
+                    env=env,
+                    bft_config=self.bft_config,
+                    zug_config=zug_config,
+                    keypair=keypairs[node_id],
+                    keystore=self.keystore,
+                    nsdb=self.nsdb,
+                    on_block=self._block_hook(node_id, cpu),
+                    replica_cls=replica_cls,
+                )
+            else:
+                node = BaselineNode(
+                    env=env,
+                    bft_config=self.bft_config,
+                    keypair=keypairs[node_id],
+                    keystore=self.keystore,
+                    nsdb=self.nsdb,
+                    on_block=self._block_hook(node_id, cpu),
+                )
+            host = NodeHost(node, self.network, cpu, self.model)
+            host.attach_bus(self.master, config.bus_faults.get(node_id))
+            self.nodes[node_id] = node
+            self.hosts[node_id] = host
+            self.memory_series[node_id] = TimeSeries(name=f"{node_id}.memory")
+            crash_at = spec.crash_at_s
+            if crash_at is not None:
+                self.kernel.schedule(crash_at, self._crash_hook(node_id))
+
+        self._started = False
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def _block_hook(self, node_id: str, cpu: CpuAccount):
+        def on_block(block) -> None:
+            # Persisting the block to flash (paper: 5.03 ms for 80 kB blocks).
+            cpu.charge_background(self.model.disk_write_cost(block.encoded_size()))
+            self._auto_prune(node_id)
+        return on_block
+
+    def _crash_hook(self, node_id: str):
+        def crash() -> None:
+            self.network.crash(node_id)
+            self.master.set_offline(node_id, True)
+        return crash
+
+    def crash_node(self, node_id: str) -> None:
+        """Fail-stop a node: no network, no bus reception."""
+        self.network.crash(node_id)
+        self.master.set_offline(node_id, True)
+
+    def recover_node(self, node_id: str) -> None:
+        self.network.recover(node_id)
+        self.master.set_offline(node_id, False)
+
+    def _auto_prune(self, node_id: str) -> None:
+        """Stand-in for a completed export: drop blocks older than the retention window.
+
+        The real export protocol (Table II) lives in :mod:`repro.export`;
+        steady-state resource runs only need its effect — a bounded chain.
+        """
+        if self.config.retention_s <= 0:
+            return
+        node = self.nodes[node_id]
+        chain = node.chain
+        horizon_us = int((self.kernel.now - self.config.retention_s) * 1e6)
+        target = chain.base_height
+        for height in range(chain.base_height + 1, chain.height):
+            if chain.block_at(height).header.timestamp_us < horizon_us:
+                target = height
+            else:
+                break
+        if target > chain.base_height:
+            base = chain.block_at(target)
+            certificate = PruneCertificate(
+                base_height=target,
+                base_block_hash=base.block_hash,
+                delete_signatures={"dc-sim-a": b"\x01" * 64, "dc-sim-b": b"\x02" * 64},
+            )
+            chain.prune_below(target, certificate)
+
+    # -- running -----------------------------------------------------------------------
+
+    def run(self, duration_s: float, warmup_s: float = 0.0) -> ScenarioResult:
+        """Drive the bus for ``duration_s`` and collect measurements.
+
+        ``warmup_s`` excludes the initial transient from latency, network,
+        and CPU figures (counters reset after the warmup).
+        """
+        if not self._started:
+            self.master.start()
+            self._started = True
+        if warmup_s > 0:
+            self.kernel.run_until(warmup_s)
+            self.network.reset_window()
+            for cpu in self.cpus.values():
+                cpu.reset_window()
+        measure_start = self.kernel.now
+        next_sample = measure_start
+        end = measure_start + duration_s
+        while next_sample <= end:
+            self.kernel.run_until(next_sample)
+            for node_id, node in self.nodes.items():
+                self.memory_series[node_id].record(
+                    self.kernel.now,
+                    MemoryAccount.FIXED_OVERHEAD_BYTES
+                    + node.memory_bytes()
+                    + self.hosts[node_id].inbox_bytes,
+                )
+            next_sample += self.config.sample_interval_s
+        self.kernel.run_until(end)
+        return self._collect(measure_start, duration_s)
+
+    # -- measurement -----------------------------------------------------------------------
+
+    def latency_recorder(self, node_id: str) -> LatencyRecorder:
+        return self.nodes[node_id].latency
+
+    def primary_id(self) -> str:
+        views = [self.nodes[i].replica.view for i in self.ids]
+        view = max(set(views), key=views.count)
+        return self.bft_config.primary_of_view(view)
+
+    def _collect(self, since: float, duration_s: float) -> ScenarioResult:
+        primary = self.primary_id()
+        latency = self.nodes[primary].latency.since(since)
+        if len(latency) == 0:  # primary crashed scenarios: use another node
+            for node_id in self.ids:
+                candidate = self.nodes[node_id].latency.since(since)
+                if len(candidate) > 0:
+                    latency = candidate
+                    break
+        net_utils = [self.network.window_utilization(i) for i in self.ids
+                     if not self.network.is_crashed(i)]
+        cpu_utils = [self.cpus[i].window_utilization() for i in self.ids
+                     if not self.network.is_crashed(i)]
+        mem_values = [v for i in self.ids for v in self.memory_series[i].values]
+        expected = int(duration_s / self.config.cycle_time_s)
+        view_changes = max(
+            self.nodes[i].replica.stats.view_changes_completed for i in self.ids
+        )
+        return ScenarioResult(
+            system=self.config.system,
+            cycle_time_s=self.config.cycle_time_s,
+            payload_bytes=self.config.payload_bytes,
+            duration_s=duration_s,
+            mean_latency_s=latency.mean(),
+            p99_latency_s=latency.p99(),
+            max_latency_s=latency.maximum(),
+            requests_logged=len(latency),
+            requests_expected=expected,
+            network_utilization=(sum(net_utils) / len(net_utils)) if net_utils else 0.0,
+            cpu_utilization=max(cpu_utils) if cpu_utils else 0.0,
+            memory_mean_bytes=(sum(mem_values) / len(mem_values)) if mem_values else 0.0,
+            memory_peak_bytes=max(mem_values) if mem_values else 0.0,
+            view_changes=view_changes,
+        )

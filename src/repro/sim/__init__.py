@@ -1,0 +1,25 @@
+"""Deterministic discrete-event simulation substrate.
+
+Replaces the paper's physical testbed (four M-COM boxes on 100 Mbit/s
+Ethernet plus an LTE uplink) with a virtual-time kernel, a byte-accurate
+network model, and a calibrated CPU/memory cost model.  Protocol code runs
+unchanged on top via the :class:`~repro.sim.kernel.Kernel` timer/event API.
+"""
+
+from repro.sim.kernel import Kernel, Timer
+from repro.sim.network import Network, LinkSpec, NetworkStats
+from repro.sim.resources import CostModel, CpuAccount, MemoryAccount
+from repro.sim.monitor import LatencyRecorder, TimeSeries
+
+__all__ = [
+    "Kernel",
+    "Timer",
+    "Network",
+    "LinkSpec",
+    "NetworkStats",
+    "CostModel",
+    "CpuAccount",
+    "MemoryAccount",
+    "LatencyRecorder",
+    "TimeSeries",
+]

@@ -1,0 +1,121 @@
+"""Discrete-event kernel: virtual clock, event heap, cancellable timers.
+
+Events at equal timestamps fire in scheduling order (a monotonically
+increasing sequence number breaks heap ties), which makes every run with the
+same seed bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.errors import ProtocolError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    ZugChain's communication layer leans heavily on cancellable timers
+    (soft/hard timeouts, Alg. 1 lines 11/16/23/31), so cancellation is a
+    first-class, O(1) operation here.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class Kernel:
+    """Virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[_Event] = []
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ProtocolError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ProtocolError(f"cannot schedule at {time} < now {self._now}")
+        event = _Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return Timer(event)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Fire all events with time <= ``deadline``; clock ends at deadline.
+
+        Events scheduled exactly at the deadline do fire.
+        """
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+        if deadline > self._now:
+            self._now = deadline
+
+    def run(self, max_events: int | None = None) -> None:
+        """Drain the event heap (optionally bounded by ``max_events``)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return

@@ -1,0 +1,106 @@
+"""Measurement helpers: time series and latency statistics."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeSeries:
+    """Append-only (time, value) samples with summary statistics."""
+
+    name: str = ""
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        return statistics.fmean(self.values) if self.values else 0.0
+
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def after(self, time: float) -> "TimeSeries":
+        """Sub-series of samples recorded at or after ``time``."""
+        out = TimeSeries(name=self.name)
+        for t, v in zip(self.times, self.values):
+            if t >= time:
+                out.record(t, v)
+        return out
+
+
+class LatencyRecorder:
+    """Latency samples with percentile summaries.
+
+    The paper reports request latency from bus reception to finalized
+    commit; scenario code records each completed request here.
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._times: list[float] = []
+
+    def record(self, completion_time: float, latency: float) -> None:
+        self._times.append(completion_time)
+        self._samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    @property
+    def times(self) -> list[float]:
+        return list(self._times)
+
+    def mean(self) -> float:
+        return statistics.fmean(self._samples) if self._samples else 0.0
+
+    def percentile(self, pct: float) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def timeline(self) -> list[tuple[float, float]]:
+        """(completion time, latency) pairs, e.g. for the Fig. 8 timeline."""
+        return list(zip(self._times, self._samples))
+
+    def since(self, time: float) -> "LatencyRecorder":
+        """Samples completed at or after ``time``."""
+        out = LatencyRecorder(name=self.name)
+        for t, v in zip(self._times, self._samples):
+            if t >= time:
+                out.record(t, v)
+        return out

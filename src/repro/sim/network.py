@@ -1,0 +1,215 @@
+"""Byte-accurate network model for the consensus Ethernet and the LTE uplink.
+
+Each node has one egress interface per network (the testbed's M-COMs use a
+100 Mbit/s Ethernet for consensus; the export path is an 8.5 Mbit/s LTE
+link).  A message occupies its sender's egress for ``size * 8 / bandwidth``
+seconds (FIFO serialization — concurrent sends queue), then propagates for
+``latency (+ jitter)``.  This queueing is what lets an overloaded baseline's
+network behaviour emerge rather than being scripted.
+
+The model also supports partitions, crashed nodes, and probabilistic loss
+for fault-injection tests.  Per-node byte counters feed the network-
+utilization results of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.kernel import Kernel
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Physical characteristics of a network link."""
+
+    latency_s: float = 0.2e-3
+    jitter_s: float = 0.05e-3
+    bandwidth_bps: float = 100e6
+    loss_prob: float = 0.0
+
+    # Common presets used by scenarios.
+    @staticmethod
+    def train_ethernet() -> "LinkSpec":
+        """The testbed's 100 Mbit/s on-train Ethernet."""
+        return LinkSpec(latency_s=0.2e-3, jitter_s=0.05e-3, bandwidth_bps=100e6)
+
+    @staticmethod
+    def lte_uplink() -> "LinkSpec":
+        """LTE to the data center: ~8.5 Mbit/s, tens of ms RTT (§V-B)."""
+        return LinkSpec(latency_s=35e-3, jitter_s=8e-3, bandwidth_bps=8.5e6)
+
+
+@dataclass
+class NetworkStats:
+    """Counters per node, reset-able for measurement windows."""
+
+    bytes_sent: dict[str, int] = field(default_factory=dict)
+    bytes_received: dict[str, int] = field(default_factory=dict)
+    messages_sent: dict[str, int] = field(default_factory=dict)
+    messages_dropped: int = 0
+
+    def record_send(self, node: str, nbytes: int) -> None:
+        self.bytes_sent[node] = self.bytes_sent.get(node, 0) + nbytes
+        self.messages_sent[node] = self.messages_sent.get(node, 0) + 1
+
+    def record_receive(self, node: str, nbytes: int) -> None:
+        self.bytes_received[node] = self.bytes_received.get(node, 0) + nbytes
+
+    def total_bytes_sent(self) -> int:
+        return sum(self.bytes_sent.values())
+
+
+class Network:
+    """Message-passing fabric between named endpoints."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rng: random.Random,
+        default_link: LinkSpec | None = None,
+        name: str = "net",
+    ) -> None:
+        self._kernel = kernel
+        self._rng = rng
+        self.name = name
+        self._default_link = default_link or LinkSpec.train_ethernet()
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        self._endpoints: dict[str, Callable[[str, Any, int], None]] = {}
+        self._egress_busy_until: dict[str, float] = {}
+        self._partitioned: set[frozenset[str]] = set()
+        self._crashed: set[str] = set()
+        self.stats = NetworkStats()
+        self._window_start = 0.0
+        self._window_bytes: dict[str, int] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, node_id: str, receive: Callable[[str, Any, int], None]) -> None:
+        """Attach an endpoint; ``receive(src, payload, size)`` is its inbox."""
+        if node_id in self._endpoints:
+            raise ConfigError(f"endpoint {node_id!r} already registered")
+        self._endpoints[node_id] = receive
+        self._egress_busy_until[node_id] = 0.0
+
+    def set_link(self, src: str, dst: str, spec: LinkSpec) -> None:
+        """Override the link characteristics for a directed pair."""
+        self._links[(src, dst)] = spec
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        return self._links.get((src, dst), self._default_link)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    # -- fault control ------------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Block traffic in both directions between ``a`` and ``b``."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitioned.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def crash(self, node_id: str) -> None:
+        """Silently drop all traffic to and from ``node_id``."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        return node_id in self._crashed
+
+    # -- transmission -------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> bool:
+        """Transmit ``payload`` of ``size_bytes`` from ``src`` to ``dst``.
+
+        Returns ``True`` if the message was put on the wire.  The payload
+        object itself is delivered by reference (the wire layer has already
+        made sizes explicit; re-encoding on every simulated hop would only
+        burn host CPU).
+        """
+        if dst not in self._endpoints:
+            raise ConfigError(f"unknown destination {dst!r}")
+        if src in self._crashed or dst in self._crashed:
+            self.stats.messages_dropped += 1
+            return False
+        if frozenset((src, dst)) in self._partitioned:
+            self.stats.messages_dropped += 1
+            return False
+
+        spec = self.link(src, dst)
+        if spec.loss_prob > 0 and self._rng.random() < spec.loss_prob:
+            self.stats.messages_dropped += 1
+            return False
+
+        self.stats.record_send(src, size_bytes)
+        self._window_bytes[src] = self._window_bytes.get(src, 0) + size_bytes
+
+        now = self._kernel.now
+        transmit = size_bytes * 8.0 / spec.bandwidth_bps
+        start = max(now, self._egress_busy_until.get(src, 0.0))
+        self._egress_busy_until[src] = start + transmit
+        jitter = self._rng.uniform(0.0, spec.jitter_s) if spec.jitter_s > 0 else 0.0
+        arrival = start + transmit + spec.latency_s + jitter
+
+        def _deliver() -> None:
+            if dst in self._crashed or frozenset((src, dst)) in self._partitioned:
+                self.stats.messages_dropped += 1
+                return
+            self.stats.record_receive(dst, size_bytes)
+            self._endpoints[dst](src, payload, size_bytes)
+
+        self._kernel.schedule_at(arrival, _deliver)
+        return True
+
+    def broadcast(self, src: str, payload: Any, size_bytes: int, include_self: bool = False) -> int:
+        """Send to every registered endpoint (optionally including ``src``).
+
+        Each copy serializes separately on the sender's egress, as unicast
+        fan-out over Ethernet does.  Returns the number of copies sent.
+        """
+        sent = 0
+        for dst in self.endpoints():
+            if dst == src and not include_self:
+                continue
+            if self.send(src, dst, payload, size_bytes):
+                sent += 1
+        return sent
+
+    # -- measurement --------------------------------------------------------
+
+    def egress_backlog(self, node_id: str) -> float:
+        """Seconds of queued egress serialization at ``node_id``."""
+        return max(0.0, self._egress_busy_until.get(node_id, 0.0) - self._kernel.now)
+
+    def utilization(self, node_id: str, elapsed: float | None = None) -> float:
+        """Fraction of ``node_id``'s egress bandwidth used since t=0."""
+        if elapsed is None:
+            elapsed = self._kernel.now
+        if elapsed <= 0:
+            return 0.0
+        spec = self.link(node_id, node_id)
+        sent = self.stats.bytes_sent.get(node_id, 0)
+        return sent * 8.0 / (spec.bandwidth_bps * elapsed)
+
+    def window_utilization(self, node_id: str) -> float:
+        """Egress utilization since the last :meth:`reset_window`."""
+        elapsed = self._kernel.now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        spec = self.link(node_id, node_id)
+        sent = self._window_bytes.get(node_id, 0)
+        return sent * 8.0 / (spec.bandwidth_bps * elapsed)
+
+    def reset_window(self) -> None:
+        self._window_start = self._kernel.now
+        self._window_bytes = {}

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the ZugChain reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class at API boundaries while tests can assert on precise subclasses.
+"""
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this library."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding wire data fails."""
+
+
+class CryptoError(ReproError):
+    """Raised on signature verification failure or malformed key material."""
+
+
+class ChainError(ReproError):
+    """Raised on blockchain integrity violations (bad links, hashes, pruning)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol state machine receives an impossible input."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid system, bus, or scenario configuration."""

@@ -1,0 +1,132 @@
+"""Core request types shared by the bus, consensus, and chain layers.
+
+A :class:`Request` is the unit the BFT layer orders: all signals read from
+the bus in one cycle, consolidated into one payload (§III-B "All signals
+transmitted in a bus cycle are consolidated into one BFT request").  Its
+identity for duplicate filtering is the payload digest — ZugChain filters
+on *content*, unlike PBFT which dedups on (client id, sequence number).
+
+A :class:`SignedRequest` wraps a request with the id and signature of the
+node that proposes or broadcasts it (Alg. 1 ``sign(req, id)``), so every
+logged entry carries the identity of a node that actually received it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.crypto.hashing import DOMAIN_REQUEST, sha256
+from repro.crypto.keys import SIGNATURE_SIZE, KeyPair, KeyStore
+from repro.wire.codec import Reader, Writer
+
+
+@dataclass(frozen=True)
+class Request:
+    """One bus cycle's consolidated, parsed signal data."""
+
+    payload: bytes
+    bus_cycle: int
+    recv_timestamp_us: int
+    source_link: str = "mvb0"
+
+    @cached_property
+    def digest(self) -> bytes:
+        """Content digest used for duplicate filtering.
+
+        Deliberately excludes ``recv_timestamp_us``: two nodes reading the
+        same telegram observe slightly different local times, and filtering
+        must still identify their payloads as duplicates.  The bus cycle
+        number and source link are part of the content — the same signal
+        values in different cycles are distinct events.
+        """
+        return sha256(
+            self.payload,
+            self.bus_cycle.to_bytes(8, "big"),
+            self.source_link.encode(),
+            domain=DOMAIN_REQUEST,
+        )
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_bytes(self.payload)
+        writer.put_uint(self.bus_cycle)
+        writer.put_uint(self.recv_timestamp_us)
+        writer.put_str(self.source_link)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Request":
+        reader = Reader(data)
+        request = cls.read_from(reader)
+        reader.expect_end()
+        return request
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "Request":
+        payload = reader.get_bytes()
+        bus_cycle = reader.get_uint()
+        recv_timestamp_us = reader.get_uint()
+        source_link = reader.get_str()
+        return cls(
+            payload=payload,
+            bus_cycle=bus_cycle,
+            recv_timestamp_us=recv_timestamp_us,
+            source_link=source_link,
+        )
+
+    def write_to(self, writer: Writer) -> None:
+        writer.put_bytes(self.encode())
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class SignedRequest:
+    """A request authenticated by the node that submits it to consensus."""
+
+    request: Request
+    node_id: str
+    signature: bytes
+
+    @staticmethod
+    def create(request: Request, node_id: str, keypair: KeyPair) -> "SignedRequest":
+        payload = SignedRequest._signing_payload(request, node_id)
+        return SignedRequest(request=request, node_id=node_id, signature=keypair.sign(payload))
+
+    @staticmethod
+    def _signing_payload(request: Request, node_id: str) -> bytes:
+        return sha256(request.digest, node_id.encode(), domain=DOMAIN_REQUEST)
+
+    def verify(self, keystore: KeyStore) -> bool:
+        payload = self._signing_payload(self.request, self.node_id)
+        return keystore.verify(self.node_id, payload, self.signature)
+
+    @property
+    def digest(self) -> bytes:
+        return self.request.digest
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_bytes(self.request.encode())
+        writer.put_str(self.node_id)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SignedRequest":
+        reader = Reader(data)
+        signed = cls.read_from(reader)
+        reader.expect_end()
+        return signed
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "SignedRequest":
+        request = Request.decode(reader.get_bytes())
+        node_id = reader.get_str()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        return cls(request=request, node_id=node_id, signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())

@@ -1,0 +1,42 @@
+"""Self-describing message envelopes: type tag + body.
+
+Used wherever messages cross a process boundary for real — disk
+persistence, export payload framing, and transport round-trip tests.
+Each message module registers its types at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.errors import CodecError
+from repro.util.varint import decode_bytes, decode_uvarint, encode_bytes, encode_uvarint
+
+_DECODERS: dict[int, Callable[[bytes], object]] = {}
+_TAGS: dict[type, int] = {}
+
+
+def register_message_type(tag: int, cls: type, decoder: Callable[[bytes], object] | None = None) -> None:
+    """Register ``cls`` (with an ``encode`` method) under wire ``tag``."""
+    if tag in _DECODERS and _DECODERS[tag] is not (decoder or cls.decode):
+        raise CodecError(f"wire tag {tag} already registered")
+    _DECODERS[tag] = decoder or cls.decode
+    _TAGS[cls] = tag
+
+
+def encode_message(message: object) -> bytes:
+    """Encode ``message`` with its registered type tag prefix."""
+    tag = _TAGS.get(type(message))
+    if tag is None:
+        raise CodecError(f"message type {type(message).__name__} not registered")
+    return encode_uvarint(tag) + encode_bytes(message.encode())  # type: ignore[attr-defined]
+
+
+def decode_message(data: bytes) -> tuple[object, int]:
+    """Decode one tagged message; returns ``(message, bytes_consumed)``."""
+    tag, pos = decode_uvarint(data)
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise CodecError(f"unknown wire tag {tag}")
+    body, end = decode_bytes(data, pos)
+    return decoder(body), end

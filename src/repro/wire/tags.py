@@ -1,0 +1,62 @@
+"""Canonical wire-tag assignments for every encodable message type.
+
+Importing this module registers all message types with the envelope
+registry (:mod:`repro.wire.registry`), enabling self-describing framing
+for disk persistence and transport round-trip tests.  Tags are stable API:
+never renumber, only append.
+"""
+
+from repro.bft.checkpoint import CheckpointCertificate
+from repro.bft.client import ClientRequestWrapper, Reply
+from repro.bft.messages import (
+    Checkpoint,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
+from repro.chain.block import Block, BlockHeader
+from repro.core.messages import ZugBroadcast, ZugForward
+from repro.core.statesync import StateReply, StateRequest
+from repro.export.messages import (
+    BlockFetch,
+    BlockFetchReply,
+    DcSync,
+    DeleteAck,
+    DeleteRequest,
+    ReadReply,
+    ReadRequest,
+)
+from repro.wire.messages import Request, SignedRequest
+from repro.wire.registry import register_message_type
+
+WIRE_TAGS = {
+    1: Request,
+    2: SignedRequest,
+    10: PrePrepare,
+    11: Prepare,
+    12: Commit,
+    13: Checkpoint,
+    14: ViewChange,
+    15: NewView,
+    16: CheckpointCertificate,
+    20: ClientRequestWrapper,
+    21: Reply,
+    30: ZugBroadcast,
+    31: ZugForward,
+    32: StateRequest,
+    33: StateReply,
+    40: BlockHeader,
+    41: Block,
+    50: ReadRequest,
+    51: ReadReply,
+    52: DcSync,
+    53: DeleteRequest,
+    54: DeleteAck,
+    55: BlockFetch,
+    56: BlockFetchReply,
+}
+
+for _tag, _cls in WIRE_TAGS.items():
+    register_message_type(_tag, _cls)

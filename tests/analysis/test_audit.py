@@ -1,0 +1,99 @@
+"""Inclusion-proof (auditor tooling) tests."""
+
+import pytest
+
+from repro.analysis.audit import InclusionProof, prove_inclusion, verify_inclusion
+from repro.chain import Blockchain, build_block
+from repro.crypto import HmacScheme
+from repro.util import ChainError
+from repro.wire import Request, SignedRequest
+
+SCHEME = HmacScheme()
+PAIR = SCHEME.derive_keypair(b"node-0")
+
+
+def signed_request(seq):
+    request = Request(payload=b"evt%d" % seq, bus_cycle=seq, recv_timestamp_us=seq)
+    return SignedRequest.create(request, "node-0", PAIR)
+
+
+def grown_chain(n_blocks=5, per_block=4):
+    chain = Blockchain()
+    seq = 0
+    for _ in range(n_blocks):
+        requests = []
+        for _ in range(per_block):
+            seq += 1
+            requests.append(signed_request(seq))
+        chain.append(build_block(chain.head.header, requests, timestamp_us=seq, last_sn=seq))
+    return chain
+
+
+def test_prove_and_verify():
+    chain = grown_chain()
+    proof = prove_inclusion(chain, height=2, index=1)
+    assert verify_inclusion(proof, chain.head.block_hash)
+
+
+def test_every_event_provable():
+    chain = grown_chain(n_blocks=3, per_block=3)
+    for height in range(1, 4):
+        for index in range(3):
+            proof = prove_inclusion(chain, height, index)
+            assert verify_inclusion(proof, chain.head.block_hash)
+
+
+def test_wrong_head_rejected():
+    chain = grown_chain()
+    proof = prove_inclusion(chain, 2, 0)
+    assert not verify_inclusion(proof, b"\x00" * 32)
+
+
+def test_substituted_request_rejected():
+    chain = grown_chain()
+    proof = prove_inclusion(chain, 2, 0)
+    forged = InclusionProof(
+        request=signed_request(999),
+        block_height=proof.block_height,
+        leaf_index=proof.leaf_index,
+        leaf_count=proof.leaf_count,
+        merkle_proof=proof.merkle_proof,
+        headers=proof.headers,
+    )
+    assert not verify_inclusion(forged, chain.head.block_hash)
+
+
+def test_broken_header_chain_rejected():
+    chain = grown_chain()
+    proof = prove_inclusion(chain, 2, 0)
+    # Drop a middle header: the hash chain to the head no longer links.
+    broken = InclusionProof(
+        request=proof.request,
+        block_height=proof.block_height,
+        leaf_index=proof.leaf_index,
+        leaf_count=proof.leaf_count,
+        merkle_proof=proof.merkle_proof,
+        headers=proof.headers[:1] + proof.headers[2:],
+    )
+    assert not verify_inclusion(broken, chain.head.block_hash)
+
+
+def test_out_of_range_index_rejected():
+    chain = grown_chain()
+    with pytest.raises(ChainError):
+        prove_inclusion(chain, 2, 99)
+
+
+def test_pruned_body_cannot_prove():
+    chain = grown_chain()
+    chain.drop_bodies_below(4)
+    with pytest.raises(ChainError):
+        prove_inclusion(chain, 2, 0)
+
+
+def test_proof_verifies_against_checkpointed_head():
+    # The realistic trust anchor: the head hash inside a checkpoint cert.
+    chain = grown_chain()
+    head_hash = chain.head.block_hash  # as attested by 2f+1 signatures
+    proof = prove_inclusion(chain, 1, 2)
+    assert verify_inclusion(proof, head_hash)

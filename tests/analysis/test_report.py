@@ -1,0 +1,41 @@
+"""Report formatting tests."""
+
+from repro.analysis import Sweep, format_ratio_row, format_table, ratio
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+    # All data lines align to the same width grid.
+    assert lines[3].startswith("1  ")
+    assert lines[4].startswith("333")
+
+
+def test_format_table_no_title():
+    out = format_table(["x"], [["1"]])
+    assert out.splitlines()[0] == "x"
+
+
+def test_ratio_zero_denominator():
+    assert ratio(5.0, 0.0) == 0.0
+    assert ratio(6.0, 3.0) == 2.0
+
+
+def test_format_ratio_row():
+    row = format_ratio_row("latency", 28.0, 14.0, unit="ms")
+    assert row[0] == "latency"
+    assert row[3] == "2.00x"
+
+
+def test_sweep_series_and_table():
+    sweep = Sweep(name="S", x_label="cycle")
+    sweep.add(32, latency=0.012, cpu=0.08)
+    sweep.add(64, latency=0.013)
+    assert sweep.series("latency") == [(32, 0.012), (64, 0.013)]
+    assert sweep.series("cpu") == [(32, 0.08)]
+    table = sweep.to_table(["latency", "cpu"])
+    assert "S" in table
+    assert "-" in table.splitlines()[-1]  # missing cpu rendered as dash

@@ -1,0 +1,60 @@
+"""Process-data telegram tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bus import BusCycleData, ProcessDataFrame
+from repro.bus.frames import FRAME_OVERHEAD_BYTES, MAX_FRAME_DATA_BYTES
+from repro.util import CodecError
+
+
+def test_create_computes_valid_checksum():
+    frame = ProcessDataFrame.create(0x100, b"\x01\x02")
+    assert frame.valid
+
+
+def test_oversized_frame_rejected():
+    with pytest.raises(CodecError):
+        ProcessDataFrame.create(0x100, b"\x00" * (MAX_FRAME_DATA_BYTES + 1))
+
+
+def test_corruption_invalidates_checksum():
+    frame = ProcessDataFrame.create(0x100, b"\x01\x02\x03\x04")
+    corrupt = frame.corrupted(bit_index=5)
+    assert corrupt.data != frame.data
+    assert not corrupt.valid
+
+
+def test_corrupting_empty_frame_is_noop():
+    frame = ProcessDataFrame.create(0x100, b"")
+    assert frame.corrupted(3) is frame
+
+
+def test_wire_size_includes_overhead():
+    frame = ProcessDataFrame.create(0x100, b"\x01\x02")
+    assert frame.wire_size() == FRAME_OVERHEAD_BYTES + 2
+
+
+def test_cycle_data_sizes():
+    frames = (
+        ProcessDataFrame.create(0x100, b"\x01\x02"),
+        ProcessDataFrame.create(0x101, b"\x03\x04\x05"),
+    )
+    cycle = BusCycleData(cycle_no=1, timestamp_us=1000, frames=frames)
+    assert cycle.data_size() == 5
+    assert cycle.wire_size() == 5 + 2 * FRAME_OVERHEAD_BYTES
+
+
+def test_cycle_roundtrip():
+    frames = tuple(
+        ProcessDataFrame.create(0x100 + i, bytes([i] * (i + 1))) for i in range(4)
+    )
+    cycle = BusCycleData(cycle_no=42, timestamp_us=123456, frames=frames)
+    assert BusCycleData.decode(cycle.encode()) == cycle
+
+
+@given(st.lists(st.binary(min_size=1, max_size=MAX_FRAME_DATA_BYTES), max_size=8))
+def test_cycle_roundtrip_property(datas):
+    frames = tuple(ProcessDataFrame.create(0x200 + i, d) for i, d in enumerate(datas))
+    cycle = BusCycleData(cycle_no=1, timestamp_us=99, frames=frames)
+    assert BusCycleData.decode(cycle.encode()) == cycle

@@ -1,0 +1,69 @@
+"""NSDB catalog tests."""
+
+import pytest
+
+from repro.bus import Nsdb, SignalDef, standard_jru_catalog
+from repro.util import ConfigError
+
+
+def test_standard_catalog_has_required_jru_signals():
+    nsdb = standard_jru_catalog()
+    # IEC 62625 classes: speed/location, brakes, driver, ATP, doors.
+    for name in ("speed", "odometer", "emergency_brake", "driver_command",
+                 "atp_intervention", "door_state"):
+        assert nsdb.signal(name).name == name
+
+
+def test_duplicate_signal_rejected():
+    nsdb = Nsdb()
+    nsdb.add_signal(SignalDef("a", port=0x1, width_bytes=1))
+    with pytest.raises(ConfigError):
+        nsdb.add_signal(SignalDef("a", port=0x2, width_bytes=1))
+
+
+def test_duplicate_port_rejected():
+    nsdb = Nsdb()
+    nsdb.add_signal(SignalDef("a", port=0x1, width_bytes=1))
+    with pytest.raises(ConfigError):
+        nsdb.add_signal(SignalDef("b", port=0x1, width_bytes=1))
+
+
+def test_port_lookup():
+    nsdb = standard_jru_catalog()
+    assert nsdb.by_port(0x100).name == "speed"
+    assert nsdb.has_port(0x100)
+    assert not nsdb.has_port(0x999)
+    with pytest.raises(ConfigError):
+        nsdb.by_port(0x999)
+
+
+def test_unknown_signal_rejected():
+    nsdb = Nsdb()
+    with pytest.raises(ConfigError):
+        nsdb.signal("ghost")
+    with pytest.raises(ConfigError):
+        nsdb.assign_writer("dev", "ghost")
+
+
+def test_writer_reader_assignment():
+    nsdb = standard_jru_catalog()
+    atp_signals = {sig.name for sig in nsdb.written_by("atp")}
+    assert "speed" in atp_signals and "atp_intervention" in atp_signals
+    nsdb.assign_reader("recorder", "speed")
+    assert [sig.name for sig in nsdb.read_by("recorder")] == ["speed"]
+
+
+def test_due_in_cycle_respects_periods():
+    nsdb = standard_jru_catalog()
+    every_cycle = {sig.name for sig in nsdb.due_in_cycle(1)}
+    assert "speed" in every_cycle
+    assert "atp_mode" not in every_cycle  # period 2
+    cycle2 = {sig.name for sig in nsdb.due_in_cycle(2)}
+    assert "atp_mode" in cycle2
+    cycle4 = {sig.name for sig in nsdb.due_in_cycle(4)}
+    assert "vendor_diagnostics" in cycle4
+
+
+def test_all_signals_sorted_by_port():
+    ports = [sig.port for sig in standard_jru_catalog().all_signals()]
+    assert ports == sorted(ports)

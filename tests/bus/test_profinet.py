@@ -1,0 +1,97 @@
+"""ProfiNet-style bus variant tests: cyclic IO plus acyclic alarms."""
+
+import pytest
+
+from repro.bus import GeneratorConfig, TrainDynamicsGenerator, standard_jru_catalog
+from repro.bus.profinet import ALARM_PORT_BASE, ProfinetBus, ProfinetConfig
+from repro.sim import Kernel
+from repro.util import ConfigError, RngRegistry
+
+
+def make_bus(alarm_rate=2.0, interval=0.064):
+    kernel = Kernel()
+    rng = RngRegistry(42)
+    generator = TrainDynamicsGenerator(standard_jru_catalog(), GeneratorConfig(), rng)
+    bus = ProfinetBus(kernel, generator,
+                      ProfinetConfig(update_interval_s=interval,
+                                     alarm_rate_per_s=alarm_rate), rng)
+    return kernel, bus
+
+
+def test_cyclic_deliveries_on_schedule():
+    kernel, bus = make_bus(alarm_rate=0.0)
+    seen = []
+    bus.attach("node-0", seen.append)
+    bus.start()
+    kernel.run_until(0.064 * 10 + 1e-6)
+    assert bus.cycles_emitted == 10
+    assert len(seen) == 10
+
+
+def test_alarms_arrive_between_cycles():
+    kernel, bus = make_bus(alarm_rate=5.0)
+    deliveries = []
+    bus.attach("node-0", deliveries.append)
+    bus.start()
+    kernel.run_until(10.0)
+    alarms = [d for d in deliveries
+              if any(f.port >= ALARM_PORT_BASE for f in d.frames)]
+    assert bus.alarms_emitted > 10
+    assert len(alarms) == bus.alarms_emitted
+    # Alarms are single-frame deliveries with their own event numbers.
+    assert all(len(a.frames) == 1 for a in alarms)
+
+
+def test_event_numbers_strictly_increase():
+    kernel, bus = make_bus(alarm_rate=5.0)
+    numbers = []
+    bus.attach("node-0", lambda d: numbers.append(d.cycle_no))
+    bus.start()
+    kernel.run_until(5.0)
+    assert numbers == sorted(numbers)
+    assert len(set(numbers)) == len(numbers)
+
+
+def test_all_devices_see_alarms():
+    kernel, bus = make_bus(alarm_rate=3.0)
+    seen = {"a": [], "b": []}
+    bus.attach("a", seen["a"].append)
+    bus.attach("b", seen["b"].append)
+    bus.start()
+    kernel.run_until(5.0)
+    assert len(seen["a"]) == len(seen["b"]) > 0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ProfinetConfig(update_interval_s=0)
+    with pytest.raises(ConfigError):
+        ProfinetConfig(alarm_rate_per_s=-1)
+
+
+def test_feeds_zugchain_node_as_second_source():
+    # The recorder treats a ProfiNet link exactly like a second MVB.
+    from repro.scenarios import ScenarioConfig, SimulatedCluster
+
+    cluster = SimulatedCluster(ScenarioConfig(system="zugchain"))
+    profinet = ProfinetBus(
+        cluster.kernel,
+        TrainDynamicsGenerator(cluster.nsdb, GeneratorConfig(seed_name="pn"), cluster.rng),
+        ProfinetConfig(update_interval_s=0.128, alarm_rate_per_s=1.0),
+        cluster.rng,
+    )
+    for node_id, node in cluster.nodes.items():
+        receiver = node.add_input_source("profinet0")
+        profinet.attach(
+            node_id,
+            lambda d, node=node, receiver=receiver: node.on_bus_cycle_from(receiver, d),
+        )
+    profinet.start()
+    result = cluster.run(duration_s=10.0, warmup_s=2.0)
+    chain = cluster.nodes["node-0"].chain
+    links = set()
+    for height in range(chain.base_height + 1, chain.height + 1):
+        for signed in chain.block_at(height).requests:
+            links.add(signed.request.source_link)
+    assert "profinet0" in links and "mvb0" in links
+    assert result.view_changes == 0

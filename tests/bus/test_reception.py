@@ -1,0 +1,115 @@
+"""BusReceiver and relevance-filter tests."""
+
+import pytest
+
+from repro.bus import BusReceiver, RelevanceFilter, standard_jru_catalog
+from repro.bus.frames import BusCycleData, ProcessDataFrame
+from repro.bus.reception import decode_cycle_payload, encode_cycle_payload
+
+
+def nsdb():
+    return standard_jru_catalog()
+
+
+def speed_frame(kmh):
+    definition = nsdb().signal("speed")
+    return ProcessDataFrame.create(definition.port, definition.encode_value(kmh))
+
+
+def emergency_frame(active):
+    definition = nsdb().signal("emergency_brake")
+    return ProcessDataFrame.create(definition.port, definition.encode_value(active))
+
+
+def cycle_of(no, *frames):
+    return BusCycleData(cycle_no=no, timestamp_us=no * 64000, frames=tuple(frames))
+
+
+def test_change_only_signal_suppressed_when_unchanged():
+    filt = RelevanceFilter(nsdb=nsdb())
+    first = filt.apply((speed_frame(100.0),))
+    second = filt.apply((speed_frame(100.0),))
+    third = filt.apply((speed_frame(101.0),))
+    assert len(first) == 1
+    assert second == []
+    assert len(third) == 1
+
+
+def test_always_log_signal_passes_every_cycle():
+    filt = RelevanceFilter(nsdb=nsdb())
+    assert len(filt.apply((emergency_frame(False),))) == 1
+    assert len(filt.apply((emergency_frame(False),))) == 1
+
+
+def test_unknown_ports_pass_through():
+    filt = RelevanceFilter(nsdb=nsdb())
+    filler = ProcessDataFrame.create(0x800, b"\x01\x02")
+    assert filt.apply((filler,)) == [filler]
+    assert filt.apply((filler,)) == [filler]
+
+
+def test_filter_reset_relogs():
+    filt = RelevanceFilter(nsdb=nsdb())
+    filt.apply((speed_frame(100.0),))
+    filt.reset()
+    assert len(filt.apply((speed_frame(100.0),))) == 1
+
+
+def test_payload_roundtrip_and_port_ordering():
+    frames = [
+        ProcessDataFrame.create(0x140, b"\x00\x0f"),
+        ProcessDataFrame.create(0x100, b"\x01\x02"),
+    ]
+    payload = encode_cycle_payload(frames)
+    entries = decode_cycle_payload(payload)
+    assert [port for port, _, _ in entries] == [0x100, 0x140]
+    assert all(valid for _, _, valid in entries)
+
+
+def test_payload_flags_invalid_frames():
+    corrupt = ProcessDataFrame.create(0x100, b"\x01\x02").corrupted(0)
+    entries = decode_cycle_payload(encode_cycle_payload([corrupt]))
+    assert entries[0][2] is False
+
+
+def test_receiver_builds_request():
+    receiver = BusReceiver(nsdb())
+    request = receiver.on_cycle(cycle_of(1, speed_frame(100.0), emergency_frame(False)), 64000)
+    assert request is not None
+    assert request.bus_cycle == 1
+    assert request.source_link == "mvb0"
+    assert receiver.cycles_seen == 1
+
+
+def test_receiver_returns_none_when_all_filtered():
+    receiver = BusReceiver(nsdb())
+    assert receiver.on_cycle(cycle_of(1, speed_frame(100.0)), 64000) is not None
+    assert receiver.on_cycle(cycle_of(2, speed_frame(100.0)), 128000) is None
+    assert receiver.cycles_empty_after_filter == 1
+
+
+def test_identical_cycles_give_identical_payloads_across_nodes():
+    # Precondition for content-based duplicate filtering (§III-B).
+    a = BusReceiver(nsdb())
+    b = BusReceiver(nsdb())
+    cycle = cycle_of(1, speed_frame(100.0), emergency_frame(False))
+    ra = a.on_cycle(cycle, 64000)
+    rb = b.on_cycle(cycle, 64017)  # different local reception time
+    assert ra.payload == rb.payload
+    assert ra.digest == rb.digest
+
+
+def test_corrupted_reception_diverges():
+    a = BusReceiver(nsdb())
+    b = BusReceiver(nsdb())
+    frame = speed_frame(100.0)
+    ra = a.on_cycle(cycle_of(1, frame), 64000)
+    rb = b.on_cycle(cycle_of(1, frame.corrupted(3)), 64000)
+    assert ra.digest != rb.digest
+    assert b.invalid_frames_seen == 1
+
+
+def test_receiver_counts_invalid_frames():
+    receiver = BusReceiver(nsdb())
+    receiver.on_cycle(cycle_of(1, emergency_frame(False).corrupted(1)), 64000)
+    assert receiver.invalid_frames_seen == 1

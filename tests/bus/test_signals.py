@@ -1,0 +1,67 @@
+"""Signal definition and codec tests."""
+
+import pytest
+
+from repro.bus import SignalDef, SignalKind, SignalValue
+from repro.util import CodecError, ConfigError
+
+
+def test_fixed_point_roundtrip():
+    speed = SignalDef("speed", port=0x100, width_bytes=2, kind=SignalKind.FIXED_POINT, scale=0.1)
+    value = SignalValue.of(speed, 137.5)
+    assert value.value == pytest.approx(137.5)
+    assert len(value.raw) == 2
+
+
+def test_fixed_point_quantizes_to_scale():
+    speed = SignalDef("speed", port=0x100, width_bytes=2, kind=SignalKind.FIXED_POINT, scale=0.1)
+    assert SignalValue.of(speed, 137.54).value == pytest.approx(137.5)
+
+
+def test_boolean_roundtrip():
+    flag = SignalDef("emergency", port=0x111, width_bytes=1, kind=SignalKind.BOOLEAN)
+    assert SignalValue.of(flag, True).value is True
+    assert SignalValue.of(flag, False).value is False
+
+
+def test_bitfield_roundtrip():
+    doors = SignalDef("doors", port=0x140, width_bytes=2, kind=SignalKind.BITFIELD)
+    assert SignalValue.of(doors, 0b1010).value == 0b1010
+
+
+def test_opaque_requires_exact_width():
+    diag = SignalDef("diag", port=0x1F0, width_bytes=16, kind=SignalKind.OPAQUE, encrypted=True)
+    blob = bytes(range(16))
+    assert SignalValue.of(diag, blob).value == blob
+    with pytest.raises(CodecError):
+        SignalValue.of(diag, b"short")
+
+
+def test_unsigned_overflow_rejected():
+    sig = SignalDef("mode", port=0x131, width_bytes=1)
+    with pytest.raises(CodecError):
+        sig.encode_value(256)
+    assert sig.encode_value(255) == b"\xff"
+
+
+def test_negative_rejected():
+    sig = SignalDef("mode", port=0x131, width_bytes=1)
+    with pytest.raises(CodecError):
+        sig.encode_value(-1)
+
+
+def test_decode_wrong_width_rejected():
+    sig = SignalDef("mode", port=0x131, width_bytes=2)
+    with pytest.raises(CodecError):
+        sig.decode_value(b"\x01")
+
+
+def test_invalid_definitions_rejected():
+    with pytest.raises(ConfigError):
+        SignalDef("bad", port=0x1000, width_bytes=1)  # port beyond 12-bit
+    with pytest.raises(ConfigError):
+        SignalDef("bad", port=0x1, width_bytes=0)
+    with pytest.raises(ConfigError):
+        SignalDef("bad", port=0x1, width_bytes=1, period_cycles=0)
+    with pytest.raises(ConfigError):
+        SignalDef("bad", port=0x1, width_bytes=1, kind=SignalKind.FIXED_POINT, scale=0)

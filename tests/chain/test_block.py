@@ -1,0 +1,92 @@
+"""Block construction and verification tests."""
+
+import pytest
+
+from repro.chain import Block, build_block, genesis_block
+from repro.crypto import HmacScheme
+from repro.util import ChainError
+from repro.wire import Request, SignedRequest
+
+SCHEME = HmacScheme()
+PAIR = SCHEME.derive_keypair(b"node-0")
+
+
+def signed_request(cycle, payload=b"signals"):
+    request = Request(payload=payload, bus_cycle=cycle, recv_timestamp_us=cycle * 64000)
+    return SignedRequest.create(request, "node-0", PAIR)
+
+
+def test_genesis_is_deterministic():
+    assert genesis_block().block_hash == genesis_block().block_hash
+    assert genesis_block("other").block_hash != genesis_block().block_hash
+
+
+def test_build_block_links_to_previous():
+    genesis = genesis_block()
+    block = build_block(genesis.header, [signed_request(1)], timestamp_us=100, last_sn=1)
+    assert block.height == 1
+    assert block.header.prev_hash == genesis.block_hash
+    assert block.verify_payload()
+
+
+def test_build_block_is_deterministic():
+    genesis = genesis_block()
+    requests = [signed_request(1), signed_request(2)]
+    a = build_block(genesis.header, requests, timestamp_us=100, last_sn=2)
+    b = build_block(genesis.header, requests, timestamp_us=100, last_sn=2)
+    assert a.block_hash == b.block_hash
+
+
+def test_empty_block_rejected():
+    with pytest.raises(ChainError):
+        build_block(genesis_block().header, [], timestamp_us=100, last_sn=1)
+
+
+def test_non_advancing_sequence_rejected():
+    genesis = genesis_block()
+    first = build_block(genesis.header, [signed_request(1)], timestamp_us=100, last_sn=5)
+    with pytest.raises(ChainError):
+        build_block(first.header, [signed_request(2)], timestamp_us=200, last_sn=5)
+
+
+def test_tampered_payload_detected():
+    genesis = genesis_block()
+    block = build_block(genesis.header, [signed_request(1)], timestamp_us=100, last_sn=1)
+    tampered = Block(header=block.header, requests=(signed_request(99),))
+    assert not tampered.verify_payload()
+
+
+def test_request_count_mismatch_detected():
+    genesis = genesis_block()
+    block = build_block(genesis.header, [signed_request(1), signed_request(2)],
+                        timestamp_us=100, last_sn=2)
+    truncated = Block(header=block.header, requests=block.requests[:1])
+    assert not truncated.verify_payload()
+
+
+def test_block_roundtrip():
+    genesis = genesis_block()
+    block = build_block(genesis.header, [signed_request(i) for i in range(1, 4)],
+                        timestamp_us=100, last_sn=3)
+    decoded = Block.decode(block.encode())
+    assert decoded == block
+    assert decoded.block_hash == block.block_hash
+
+
+def test_header_hash_binds_all_fields():
+    genesis = genesis_block()
+    base = build_block(genesis.header, [signed_request(1)], timestamp_us=100, last_sn=1)
+    other_ts = build_block(genesis.header, [signed_request(1)], timestamp_us=101, last_sn=1)
+    assert base.block_hash != other_ts.block_hash
+
+
+def test_merkle_proof_of_inclusion():
+    from repro.crypto import verify_merkle_proof
+
+    genesis = genesis_block()
+    requests = [signed_request(i) for i in range(1, 6)]
+    block = build_block(genesis.header, requests, timestamp_us=100, last_sn=5)
+    tree = block.merkle_tree()
+    proof = tree.proof(2)
+    assert verify_merkle_proof(requests[2].encode(), proof,
+                               block.header.payload_root, len(requests))

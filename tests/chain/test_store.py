@@ -1,0 +1,66 @@
+"""Disk persistence tests."""
+
+import pytest
+
+from repro.chain import BlockStore, Blockchain, build_block, genesis_block
+from repro.crypto import HmacScheme
+from repro.util import ChainError
+from repro.wire import Request, SignedRequest
+
+SCHEME = HmacScheme()
+PAIR = SCHEME.derive_keypair(b"node-0")
+
+
+def signed_request(cycle):
+    request = Request(payload=b"p", bus_cycle=cycle, recv_timestamp_us=cycle)
+    return SignedRequest.create(request, "node-0", PAIR)
+
+
+def small_chain(n=3):
+    chain = Blockchain()
+    for sn in range(1, n + 1):
+        chain.append(build_block(chain.head.header, [signed_request(sn)],
+                                 timestamp_us=sn, last_sn=sn))
+    return chain
+
+
+def test_write_read_roundtrip(tmp_path):
+    store = BlockStore(tmp_path)
+    chain = small_chain()
+    for height in range(0, 4):
+        store.write(chain.block_at(height))
+    assert store.read(2) == chain.block_at(2)
+    assert store.heights() == [0, 1, 2, 3]
+
+
+def test_read_missing_raises(tmp_path):
+    with pytest.raises(ChainError):
+        BlockStore(tmp_path).read(7)
+
+
+def test_corrupted_file_rejected(tmp_path):
+    store = BlockStore(tmp_path)
+    block = genesis_block()
+    path = store.write(block)
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    with pytest.raises(Exception):
+        store.read(0)
+
+
+def test_delete(tmp_path):
+    store = BlockStore(tmp_path)
+    store.write(genesis_block())
+    assert store.delete(0)
+    assert not store.delete(0)
+    assert store.heights() == []
+
+
+def test_load_all_reconstructs_chain(tmp_path):
+    store = BlockStore(tmp_path)
+    chain = small_chain()
+    for height in range(0, 4):
+        store.write(chain.block_at(height))
+    rebuilt = Blockchain.from_blocks(store.load_all())
+    assert rebuilt.height == 3

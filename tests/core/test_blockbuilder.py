@@ -1,0 +1,83 @@
+"""Block builder tests: thresholds, determinism, checkpoint wiring."""
+
+from repro.chain import Blockchain
+from repro.core import BlockBuilder
+from repro.crypto import HmacScheme
+from repro.wire import Request, SignedRequest
+
+SCHEME = HmacScheme()
+PAIR = SCHEME.derive_keypair(b"node-0")
+
+
+def signed_request(cycle):
+    request = Request(payload=b"p%d" % cycle, bus_cycle=cycle, recv_timestamp_us=cycle)
+    return SignedRequest.create(request, "node-0", PAIR)
+
+
+def make_builder(block_size=3):
+    chain = Blockchain()
+    blocks = []
+    checkpoints = []
+    builder = BlockBuilder(
+        chain=chain,
+        block_size=block_size,
+        on_block=blocks.append,
+        record_checkpoint=lambda seq, height, block_hash, digest: checkpoints.append(
+            (seq, height, block_hash, digest)
+        ),
+        now_us=lambda: 1_000_000,
+    )
+    return chain, builder, blocks, checkpoints
+
+
+def test_block_cut_at_threshold():
+    chain, builder, blocks, checkpoints = make_builder(block_size=3)
+    assert builder.add(signed_request(1), 1) is None
+    assert builder.add(signed_request(2), 2) is None
+    block = builder.add(signed_request(3), 3)
+    assert block is not None
+    assert block.height == 1
+    assert block.header.request_count == 3
+    assert chain.height == 1
+    assert builder.pending_count == 0
+
+
+def test_checkpoint_created_per_block():
+    chain, builder, blocks, checkpoints = make_builder(block_size=2)
+    for seq in range(1, 7):
+        builder.add(signed_request(seq), seq)
+    assert len(blocks) == 3
+    assert len(checkpoints) == 3
+    seqs = [cp[0] for cp in checkpoints]
+    assert seqs == [2, 4, 6]
+    heights = [cp[1] for cp in checkpoints]
+    assert heights == [1, 2, 3]
+    # Checkpoint hashes match the built blocks.
+    for block, cp in zip(blocks, checkpoints):
+        assert cp[2] == block.block_hash
+
+
+def test_identical_inputs_build_identical_blocks():
+    _, builder_a, blocks_a, _ = make_builder(block_size=2)
+    _, builder_b, blocks_b, _ = make_builder(block_size=2)
+    for seq in (1, 2):
+        builder_a.add(signed_request(seq), seq)
+        builder_b.add(signed_request(seq), seq)
+    assert blocks_a[0].block_hash == blocks_b[0].block_hash
+
+
+def test_pending_accounting():
+    _, builder, _, _ = make_builder(block_size=5)
+    builder.add(signed_request(1), 1)
+    builder.add(signed_request(2), 2)
+    assert builder.pending_count == 2
+    assert builder.pending_size_bytes() > 0
+    assert len(builder.pending_digests()) == 2
+
+
+def test_chain_grows_across_blocks():
+    chain, builder, _, _ = make_builder(block_size=2)
+    for seq in range(1, 9):
+        builder.add(signed_request(seq), seq)
+    assert chain.height == 4
+    chain.verify()

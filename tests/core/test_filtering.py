@@ -1,0 +1,60 @@
+"""DedupIndex sliding-window tests."""
+
+import pytest
+
+from repro.core import DedupIndex
+
+
+def digest(i):
+    return i.to_bytes(4, "big") * 8
+
+
+def test_records_and_finds():
+    index = DedupIndex(checkpoint_interval=10, window_checkpoints=2)
+    index.record(digest(1), 1)
+    assert index.in_log(digest(1))
+    assert not index.in_log(digest(2))
+    assert index.logged_seq(digest(1)) == 1
+
+
+def test_window_eviction():
+    index = DedupIndex(checkpoint_interval=10, window_checkpoints=2)  # window = 20 seqs
+    for seq in range(1, 30):
+        index.record(digest(seq), seq)
+    # seq 29 - 20 = 9: everything at or below 9 evicted.
+    assert not index.in_log(digest(9))
+    assert index.in_log(digest(10))
+    assert index.in_log(digest(29))
+    assert index.evicted == 9
+
+
+def test_duplicate_of_evicted_entry_not_flagged():
+    # §III-C Faulty Primary: duplicates beyond the window are recorded, not
+    # suspected — the index simply no longer knows them.
+    index = DedupIndex(checkpoint_interval=1, window_checkpoints=1)
+    index.record(digest(1), 1)
+    for seq in range(2, 10):
+        index.record(digest(seq), seq)
+    assert not index.in_log(digest(1))
+
+
+def test_size_bytes_tracks_entries():
+    index = DedupIndex()
+    assert index.size_bytes() == 0
+    index.record(digest(1), 1)
+    assert index.size_bytes() > 0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        DedupIndex(checkpoint_interval=0)
+    with pytest.raises(ValueError):
+        DedupIndex(window_checkpoints=0)
+
+
+def test_out_of_order_recording():
+    index = DedupIndex(checkpoint_interval=10, window_checkpoints=2)
+    index.record(digest(5), 5)
+    index.record(digest(3), 3)  # late decide with lower seq
+    assert index.in_log(digest(3))
+    assert index.in_log(digest(5))

@@ -1,0 +1,300 @@
+"""Algorithm 1 unit tests, driven through a RecordingEnv and a fake BFT module."""
+
+import pytest
+
+from repro.bft.env import RecordingEnv
+from repro.core import ZugBroadcast, ZugChainConfig, ZugChainLayer, ZugForward
+from repro.crypto import HmacScheme, KeyStore
+from repro.wire import Request, SignedRequest
+
+SCHEME = HmacScheme()
+IDS = ["node-0", "node-1", "node-2", "node-3"]
+KEYPAIRS = {i: SCHEME.derive_keypair(i.encode()) for i in IDS}
+KEYSTORE = KeyStore(scheme=SCHEME)
+for _id, _pair in KEYPAIRS.items():
+    KEYSTORE.register(_id, _pair.public)
+
+
+class FakeBft:
+    def __init__(self, accept=True):
+        self.proposed = []
+        self.suspicions = 0
+        self.accept = accept
+
+    def propose(self, signed):
+        self.proposed.append(signed)
+        return self.accept
+
+    def suspect(self):
+        self.suspicions += 1
+
+
+def make_layer(node_id="node-1", primary="node-0", **config_kwargs):
+    env = RecordingEnv(node_id=node_id)
+    bft = FakeBft()
+    logged = []
+    layer = ZugChainLayer(
+        env=env,
+        config=ZugChainConfig(**config_kwargs),
+        keypair=KEYPAIRS[node_id],
+        keystore=KEYSTORE,
+        propose=bft.propose,
+        suspect=bft.suspect,
+        on_log=lambda signed, seq: logged.append((seq, signed)),
+        initial_primary=primary,
+    )
+    return env, bft, layer, logged
+
+
+def request(cycle=1, payload=b"signals", link="mvb0"):
+    return Request(payload=payload, bus_cycle=cycle, recv_timestamp_us=cycle * 64000,
+                   source_link=link)
+
+
+def signed_by(node_id, req):
+    return SignedRequest.create(req, node_id, KEYPAIRS[node_id])
+
+
+# -- ln. 5-11: reception ----------------------------------------------------------------
+
+def test_primary_proposes_immediately_with_own_id():
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0")
+    layer.receive(request())
+    assert len(bft.proposed) == 1
+    assert bft.proposed[0].node_id == "node-0"
+    assert not env.active_timers()
+
+
+def test_backup_arms_soft_timer_and_does_not_propose():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0")
+    layer.receive(request())
+    assert bft.proposed == []
+    assert len(env.active_timers()) == 1
+    assert layer.open_requests == 1
+
+
+def test_duplicate_reception_filtered():
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0")
+    layer.receive(request())
+    layer.receive(request())  # identical content
+    assert len(bft.proposed) == 1
+    assert layer.stats.filtered_duplicates == 1
+
+
+def test_already_logged_reception_filtered():
+    env, bft, layer, logged = make_layer(node_id="node-0", primary="node-0")
+    req = request()
+    layer.receive(req)
+    layer.on_decide(bft.proposed[0], 1)
+    assert len(logged) == 1
+    layer.receive(req)  # late redelivery from the bus
+    assert len(bft.proposed) == 1
+    assert layer.stats.filtered_duplicates == 1
+
+
+def test_different_source_links_are_distinct_requests():
+    # §III-C Multiple Input Sources: both links' inputs are logged.
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0")
+    layer.receive(request(link="mvb0"))
+    layer.receive(request(link="mvb1"))
+    assert len(bft.proposed) == 2
+
+
+# -- ln. 12-20: decide --------------------------------------------------------------------
+
+def test_decide_cancels_timers_and_logs_with_origin_id():
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0")
+    req = request()
+    layer.receive(req)
+    decided = signed_by("node-0", req)
+    layer.on_decide(decided, 1)
+    assert logged == [(1, decided)]
+    assert not env.active_timers()
+    assert layer.open_requests == 0
+
+
+def test_duplicate_decide_triggers_suspicion():
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0")
+    req = request()
+    decided = signed_by("node-0", req)
+    layer.on_decide(decided, 1)
+    layer.on_decide(signed_by("node-0", req), 2)  # primary proposed it twice
+    assert len(logged) == 1
+    assert bft.suspicions == 1
+    assert layer.stats.duplicate_decides == 1
+
+
+def test_decide_of_request_never_seen_locally_still_logged():
+    # A request only received by another node must be logged here too.
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0")
+    foreign = signed_by("node-2", request(payload=b"only-on-node-2"))
+    layer.on_decide(foreign, 1)
+    assert logged == [(1, foreign)]
+    assert logged[0][1].node_id == "node-2"  # origin id preserved
+
+
+# -- ln. 21-24: soft timeout -----------------------------------------------------------------
+
+def test_soft_timeout_broadcasts_and_arms_hard_timer():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0")
+    layer.receive(request())
+    env.fire_next_timer()  # soft timeout
+    broadcasts = env.broadcasts_of_type(ZugBroadcast)
+    assert len(broadcasts) == 1
+    assert broadcasts[0].request.node_id == "node-1"
+    assert len(env.active_timers()) == 1  # the hard timer
+    assert layer.stats.soft_timeouts == 1
+
+
+def test_decide_after_soft_timeout_cancels_hard_timer():
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0")
+    req = request()
+    layer.receive(req)
+    env.fire_next_timer()
+    layer.on_decide(signed_by("node-0", req), 1)
+    assert not env.active_timers()
+    assert bft.suspicions == 0
+    assert len(logged) == 1
+
+
+# -- ln. 25-32: broadcast handling -------------------------------------------------------------
+
+def test_primary_proposes_broadcast_with_broadcaster_id():
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0")
+    broadcast = ZugBroadcast(request=signed_by("node-2", request()))
+    layer.on_broadcast("node-2", broadcast)
+    assert len(bft.proposed) == 1
+    assert bft.proposed[0].node_id == "node-2"  # origin preserved (ln. 29)
+
+
+def test_primary_ignores_broadcast_of_open_request():
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0")
+    req = request()
+    layer.receive(req)  # proposes, stays in R
+    layer.on_broadcast("node-2", ZugBroadcast(request=signed_by("node-2", req)))
+    assert len(bft.proposed) == 1  # not proposed again (ln. 28 guard)
+
+
+def test_broadcast_of_logged_request_ignored():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0")
+    req = request()
+    layer.on_decide(signed_by("node-0", req), 1)
+    layer.on_broadcast("node-2", ZugBroadcast(request=signed_by("node-2", req)))
+    assert layer.stats.broadcasts_ignored_logged == 1
+    assert not env.sent
+
+
+def test_backup_forwards_broadcast_to_primary():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0")
+    broadcast = ZugBroadcast(request=signed_by("node-2", request()))
+    layer.on_broadcast("node-2", broadcast)
+    forwards = env.sent_of_type(ZugForward)
+    assert len(forwards) == 1
+    assert forwards[0][0] == "node-0"  # to the primary (fault case iv)
+    assert len(env.active_timers()) == 1  # hard timer armed
+
+
+def test_forged_broadcast_signature_dropped():
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0")
+    req = request()
+    forged = SignedRequest(request=req, node_id="node-2", signature=b"\x00" * 64)
+    layer.on_broadcast("node-2", ZugBroadcast(request=forged))
+    assert bft.proposed == []
+
+
+def test_rate_limit_drops_excess_broadcasts():
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0", max_open_per_node=2)
+    for cycle in range(1, 5):
+        broadcast = ZugBroadcast(request=signed_by("node-3", request(cycle=cycle)))
+        layer.on_broadcast("node-3", broadcast)
+    assert len(bft.proposed) == 2
+    assert layer.stats.broadcasts_rate_limited == 2
+
+
+def test_rate_limit_slot_freed_on_decide():
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0", max_open_per_node=1)
+    first = signed_by("node-3", request(cycle=1))
+    layer.on_broadcast("node-3", ZugBroadcast(request=first))
+    layer.on_decide(first, 1)
+    layer.on_broadcast("node-3", ZugBroadcast(request=signed_by("node-3", request(cycle=2))))
+    assert len(bft.proposed) == 2
+
+
+def test_forward_handled_like_broadcast_at_primary():
+    env, bft, layer, _ = make_layer(node_id="node-0", primary="node-0")
+    forward = ZugForward(request=signed_by("node-2", request()), forwarder_id="node-1")
+    layer.on_forward("node-1", forward)
+    assert len(bft.proposed) == 1
+
+
+# -- ln. 33-35: hard timeout ---------------------------------------------------------------------
+
+def test_hard_timeout_suspects_primary():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0")
+    layer.receive(request())
+    env.fire_next_timer()  # soft
+    env.fire_next_timer()  # hard
+    assert bft.suspicions == 1
+    assert layer.stats.hard_timeouts == 1
+
+
+# -- §III-C optimization ----------------------------------------------------------------------------
+
+def test_preprepare_observation_cancels_soft_timer():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0")
+    req = request()
+    layer.receive(req)
+    layer.on_preprepare_observed(req.digest)
+    assert not env.active_timers()
+
+
+def test_preprepare_cancel_optimization_can_be_disabled():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0",
+                                    preprepare_cancels_soft=False)
+    req = request()
+    layer.receive(req)
+    layer.on_preprepare_observed(req.digest)
+    assert len(env.active_timers()) == 1
+
+
+# -- ln. 36-43: new primary ------------------------------------------------------------------------
+
+def test_new_primary_proposes_open_requests():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0")
+    layer.receive(request(cycle=1))
+    layer.receive(request(cycle=2))
+    assert bft.proposed == []
+    layer.on_new_primary("node-1")  # this node becomes primary
+    assert len(bft.proposed) == 2
+    assert layer.is_primary
+
+
+def test_new_primary_backup_restarts_soft_timers():
+    env, bft, layer, _ = make_layer(node_id="node-1", primary="node-0")
+    layer.receive(request())
+    env.fire_next_timer()  # soft expired, hard armed
+    layer.on_new_primary("node-2")
+    timers = env.active_timers()
+    assert len(timers) == 1  # fresh soft timer (ln. 43), hard cancelled
+    assert layer.primary == "node-2"
+
+
+def test_new_primary_does_not_repropose_logged_requests():
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0")
+    req = request()
+    layer.receive(req)
+    layer.on_decide(signed_by("node-0", req), 1)
+    layer.on_new_primary("node-1")
+    assert bft.proposed == []
+
+
+# -- ablation: filtering disabled ------------------------------------------------------------------
+
+def test_filtering_disabled_logs_duplicates_without_suspicion():
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0",
+                                         filtering_enabled=False)
+    req = request()
+    layer.on_decide(signed_by("node-0", req), 1)
+    layer.on_decide(signed_by("node-2", req), 2)
+    assert len(logged) == 2
+    assert bft.suspicions == 0

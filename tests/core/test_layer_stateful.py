@@ -1,0 +1,126 @@
+"""Model-based testing of the ZugChain layer under arbitrary interleavings.
+
+Hypothesis drives a random sequence of bus receptions, peer broadcasts,
+BFT decides, timer firings, and primary changes against one layer
+instance, checking the invariants the paper's correctness argument rests
+on:
+
+* **no payload duplication** — a correct node never logs the same payload
+  twice (§III-B);
+* decided requests leave the queue and their timers die with them;
+* suspicion only ever arises from a duplicate decide or a hard timeout;
+* the open-request queue never leaks entries for logged digests.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+import hypothesis.strategies as st
+
+from repro.bft.env import RecordingEnv
+from repro.core import ZugChainConfig, ZugChainLayer
+from repro.crypto import HmacScheme, KeyStore
+from repro.wire import Request, SignedRequest
+
+SCHEME = HmacScheme()
+IDS = ["node-0", "node-1", "node-2", "node-3"]
+KEYPAIRS = {i: SCHEME.derive_keypair(i.encode()) for i in IDS}
+KEYSTORE = KeyStore(scheme=SCHEME)
+for _i, _p in KEYPAIRS.items():
+    KEYSTORE.register(_i, _p.public)
+
+
+class LayerMachine(RuleBasedStateMachine):
+    """One backup layer on node-1 with rotating primaries."""
+
+    requests = Bundle("requests")
+
+    def __init__(self):
+        super().__init__()
+        self.env = RecordingEnv(node_id="node-1")
+        self.logged = []
+        self.suspicions = 0
+        self.next_seq = 1
+        self.layer = ZugChainLayer(
+            env=self.env,
+            config=ZugChainConfig(),
+            keypair=KEYPAIRS["node-1"],
+            keystore=KEYSTORE,
+            propose=lambda signed: True,
+            suspect=self._suspect,
+            on_log=lambda signed, seq: self.logged.append((seq, signed.digest)),
+            initial_primary="node-0",
+        )
+        self._hard_timeouts_fired = 0
+        self._duplicate_decides_sent = 0
+
+    def _suspect(self):
+        self.suspicions += 1
+
+    # -- actions -----------------------------------------------------------------
+
+    @rule(target=requests, cycle=st.integers(min_value=1, max_value=40))
+    def make_request(self, cycle):
+        return Request(payload=b"payload-%d" % cycle, bus_cycle=cycle,
+                       recv_timestamp_us=cycle * 64000)
+
+    @rule(request=requests)
+    def receive_from_bus(self, request):
+        self.layer.receive(request)
+
+    @rule(request=requests, origin=st.sampled_from(IDS))
+    def peer_broadcast(self, request, origin):
+        from repro.core.messages import ZugBroadcast
+
+        signed = SignedRequest.create(request, origin, KEYPAIRS[origin])
+        self.layer.on_broadcast(origin, ZugBroadcast(request=signed))
+
+    @rule(request=requests, origin=st.sampled_from(IDS))
+    def decide(self, request, origin):
+        signed = SignedRequest.create(request, origin, KEYPAIRS[origin])
+        if self.layer.in_log(signed.digest):
+            self._duplicate_decides_sent += 1
+        self.layer.on_decide(signed, self.next_seq)
+        self.next_seq += 1
+
+    @rule(request=requests)
+    def observe_preprepare(self, request):
+        self.layer.on_preprepare_observed(request.digest)
+
+    @rule()
+    def fire_earliest_timer(self):
+        timers = self.env.active_timers()
+        if timers:
+            before = self.layer.stats.hard_timeouts
+            self.env.fire_next_timer()
+            self._hard_timeouts_fired += self.layer.stats.hard_timeouts - before
+
+    @rule(new_primary=st.sampled_from(IDS))
+    def change_primary(self, new_primary):
+        self.layer.on_new_primary(new_primary)
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def no_payload_logged_twice(self):
+        digests = [d for _, d in self.logged]
+        assert len(digests) == len(set(digests)), "payload duplication in the log"
+
+    @invariant()
+    def logged_digests_not_in_queue(self):
+        for _, digest in self.logged:
+            assert not self.layer.in_queue(digest)
+
+    @invariant()
+    def suspicion_always_justified(self):
+        justified = self._hard_timeouts_fired + self.layer.stats.duplicate_decides
+        assert self.suspicions <= justified
+
+    @invariant()
+    def queue_matches_stat_counters(self):
+        assert self.layer.open_requests >= 0
+        assert self.layer.stats.logged == len(self.logged)
+
+
+LayerMachineTest = LayerMachine.TestCase
+LayerMachineTest.settings = settings(max_examples=60, stateful_step_count=40,
+                                     deadline=None)

@@ -1,0 +1,60 @@
+"""Open-request limiter tests (DoS defence, fault case iii)."""
+
+import pytest
+
+from repro.core import OpenRequestLimiter
+from repro.core.ratelimit import limit_from_bus
+from repro.util import ConfigError
+
+
+def digest(i):
+    return i.to_bytes(4, "big") * 8
+
+
+def test_admits_up_to_limit():
+    limiter = OpenRequestLimiter(limit=2)
+    assert limiter.try_acquire("node-3", digest(1))
+    assert limiter.try_acquire("node-3", digest(2))
+    assert not limiter.try_acquire("node-3", digest(3))
+    assert limiter.rejected == 1
+
+
+def test_redelivery_of_admitted_request_is_free():
+    limiter = OpenRequestLimiter(limit=1)
+    assert limiter.try_acquire("node-3", digest(1))
+    assert limiter.try_acquire("node-3", digest(1))  # same digest again
+    assert limiter.rejected == 0
+
+
+def test_release_frees_slot():
+    limiter = OpenRequestLimiter(limit=1)
+    assert limiter.try_acquire("node-3", digest(1))
+    limiter.release("node-3", digest(1))
+    assert limiter.try_acquire("node-3", digest(2))
+
+
+def test_release_digest_scans_all_nodes():
+    limiter = OpenRequestLimiter(limit=1)
+    limiter.try_acquire("node-2", digest(1))
+    limiter.release_digest(digest(1))
+    assert limiter.open_count("node-2") == 0
+
+
+def test_limits_are_per_node():
+    limiter = OpenRequestLimiter(limit=1)
+    assert limiter.try_acquire("node-2", digest(1))
+    assert limiter.try_acquire("node-3", digest(2))
+
+
+def test_invalid_limit_rejected():
+    with pytest.raises(ConfigError):
+        OpenRequestLimiter(limit=0)
+
+
+def test_limit_from_bus_frequency():
+    # 250 ms hard timeout over 64 ms cycles with 2x headroom: ~7 open slots.
+    assert limit_from_bus(0.064, 0.250) == 7
+    assert limit_from_bus(0.032, 0.250) == 15
+    assert limit_from_bus(10.0, 0.250) == 1  # never below 1
+    with pytest.raises(ConfigError):
+        limit_from_bus(0.0, 0.250)

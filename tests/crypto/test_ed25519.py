@@ -1,0 +1,80 @@
+"""RFC 8032 test vectors and behavioural tests for the Ed25519 implementation."""
+
+import pytest
+
+from repro.crypto import ed25519
+
+# RFC 8032 §7.1 test vectors (secret key, public key, message, signature).
+RFC8032_VECTORS = [
+    (
+        "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+        "",
+        "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+        "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+    ),
+    (
+        "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+        "72",
+        "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+        "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+    ),
+    (
+        "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+        "af82",
+        "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+        "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+    ),
+]
+
+
+@pytest.mark.parametrize("secret_hex,public_hex,msg_hex,sig_hex", RFC8032_VECTORS)
+def test_rfc8032_public_key_derivation(secret_hex, public_hex, msg_hex, sig_hex):
+    assert ed25519.secret_to_public(bytes.fromhex(secret_hex)).hex() == public_hex
+
+
+@pytest.mark.parametrize("secret_hex,public_hex,msg_hex,sig_hex", RFC8032_VECTORS)
+def test_rfc8032_signature(secret_hex, public_hex, msg_hex, sig_hex):
+    sig = ed25519.sign(bytes.fromhex(secret_hex), bytes.fromhex(msg_hex))
+    assert sig.hex() == sig_hex
+
+
+@pytest.mark.parametrize("secret_hex,public_hex,msg_hex,sig_hex", RFC8032_VECTORS)
+def test_rfc8032_verify(secret_hex, public_hex, msg_hex, sig_hex):
+    assert ed25519.verify(
+        bytes.fromhex(public_hex), bytes.fromhex(msg_hex), bytes.fromhex(sig_hex)
+    )
+
+
+def test_tampered_message_rejected():
+    secret = bytes(range(32))
+    public = ed25519.secret_to_public(secret)
+    sig = ed25519.sign(secret, b"juridical event")
+    assert ed25519.verify(public, b"juridical event", sig)
+    assert not ed25519.verify(public, b"juridical Event", sig)
+
+
+def test_tampered_signature_rejected():
+    secret = bytes(range(32))
+    public = ed25519.secret_to_public(secret)
+    sig = bytearray(ed25519.sign(secret, b"msg"))
+    sig[0] ^= 0x01
+    assert not ed25519.verify(public, b"msg", bytes(sig))
+
+
+def test_wrong_key_rejected():
+    sig = ed25519.sign(bytes(range(32)), b"msg")
+    other_public = ed25519.secret_to_public(bytes(range(1, 33)))
+    assert not ed25519.verify(other_public, b"msg", sig)
+
+
+def test_malformed_inputs_fail_closed():
+    assert not ed25519.verify(b"short", b"msg", b"\x00" * 64)
+    public = ed25519.secret_to_public(bytes(range(32)))
+    assert not ed25519.verify(public, b"msg", b"\x00" * 63)
+    # s >= group order must be rejected (malleability check)
+    sig = bytearray(ed25519.sign(bytes(range(32)), b"msg"))
+    sig[32:] = (ed25519.L).to_bytes(32, "little")
+    assert not ed25519.verify(public, b"msg", bytes(sig))

@@ -1,0 +1,29 @@
+"""Domain-separated hashing tests."""
+
+from repro.crypto import DOMAIN_BLOCK, DOMAIN_REQUEST, chain_hash, digest_hex, sha256
+
+
+def test_deterministic():
+    assert sha256(b"a", b"b") == sha256(b"a", b"b")
+
+
+def test_domain_separation():
+    assert sha256(b"x", domain=DOMAIN_BLOCK) != sha256(b"x", domain=DOMAIN_REQUEST)
+
+
+def test_injective_part_boundaries():
+    # Length prefixes must prevent concatenation collisions.
+    assert sha256(b"ab", b"c") != sha256(b"a", b"bc")
+    assert sha256(b"abc") != sha256(b"ab", b"c")
+
+
+def test_digest_hex_matches_sha256():
+    assert digest_hex(b"x") == sha256(b"x").hex()
+
+
+def test_chain_hash_binds_every_field():
+    base = chain_hash(b"\x00" * 32, b"\x11" * 32, 5, 1_000_000)
+    assert chain_hash(b"\x01" * 32, b"\x11" * 32, 5, 1_000_000) != base
+    assert chain_hash(b"\x00" * 32, b"\x22" * 32, 5, 1_000_000) != base
+    assert chain_hash(b"\x00" * 32, b"\x11" * 32, 6, 1_000_000) != base
+    assert chain_hash(b"\x00" * 32, b"\x11" * 32, 5, 1_000_001) != base

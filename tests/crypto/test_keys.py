@@ -1,0 +1,79 @@
+"""Key pair, key store, and scheme interchangeability tests."""
+
+import pytest
+
+from repro.crypto import Ed25519Scheme, HmacScheme, KeyStore, default_scheme
+from repro.util import CryptoError
+
+
+@pytest.fixture(params=["hmac", "ed25519"])
+def scheme(request):
+    return HmacScheme() if request.param == "hmac" else Ed25519Scheme()
+
+
+def test_derive_is_deterministic(scheme):
+    a = scheme.derive_keypair(b"node-0")
+    b = scheme.derive_keypair(b"node-0")
+    assert a.secret == b.secret
+    assert a.public == b.public
+
+
+def test_sign_verify_roundtrip(scheme):
+    pair = scheme.derive_keypair(b"node-0")
+    sig = pair.sign(b"preprepare")
+    assert len(sig) == 64
+    assert pair.verify(b"preprepare", sig)
+    assert not pair.verify(b"prepare", sig)
+
+
+def test_cross_key_rejection(scheme):
+    a = scheme.derive_keypair(b"node-0")
+    b = scheme.derive_keypair(b"node-1")
+    sig = a.sign(b"msg")
+    assert not scheme.verify(b.public, b"msg", sig)
+
+
+def test_keystore_verify(scheme):
+    store = KeyStore(scheme=scheme)
+    pair = scheme.derive_keypair(b"node-0")
+    store.register("node-0", pair.public)
+    assert store.verify("node-0", b"msg", pair.sign(b"msg"))
+    assert not store.verify("node-0", b"msg", b"\x00" * 64)
+
+
+def test_keystore_unknown_participant_fails_closed(scheme):
+    store = KeyStore(scheme=scheme)
+    pair = scheme.derive_keypair(b"node-0")
+    assert not store.verify("ghost", b"msg", pair.sign(b"msg"))
+    with pytest.raises(CryptoError):
+        store.public_key("ghost")
+
+
+def test_keystore_conflicting_registration_rejected(scheme):
+    store = KeyStore(scheme=scheme)
+    a = scheme.derive_keypair(b"node-0")
+    b = scheme.derive_keypair(b"node-1")
+    store.register("node-0", a.public)
+    store.register("node-0", a.public)  # idempotent
+    with pytest.raises(CryptoError):
+        store.register("node-0", b.public)
+
+
+def test_keystore_rejects_malformed_key(scheme):
+    store = KeyStore(scheme=scheme)
+    with pytest.raises(CryptoError):
+        store.register("node-0", b"short")
+
+
+def test_default_scheme_selector():
+    assert default_scheme(fast=True).name == "hmac"
+    assert default_scheme(fast=False).name == "ed25519"
+
+
+def test_keystore_participants_sorted(scheme):
+    store = KeyStore(scheme=scheme)
+    for name in ("node-2", "node-0", "node-1"):
+        store.register(name, scheme.derive_keypair(name.encode()).public)
+    assert store.participants() == ["node-0", "node-1", "node-2"]
+    assert store.known("node-1")
+    assert not store.known("node-9")

@@ -1,0 +1,71 @@
+"""Merkle tree and inclusion proof tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import MerkleTree, merkle_root, verify_merkle_proof
+from repro.crypto.merkle import EMPTY_ROOT
+
+
+def test_empty_tree_root():
+    assert merkle_root([]) == EMPTY_ROOT
+
+
+def test_single_leaf():
+    tree = MerkleTree([b"event"])
+    proof = tree.proof(0)
+    assert verify_merkle_proof(b"event", proof, tree.root, 1)
+
+
+def test_root_changes_with_any_leaf():
+    leaves = [b"a", b"b", b"c"]
+    base = merkle_root(leaves)
+    assert merkle_root([b"a", b"b", b"x"]) != base
+    assert merkle_root([b"x", b"b", b"c"]) != base
+
+
+def test_order_matters():
+    assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+
+def test_leaf_node_domain_separation():
+    # A tree over two leaves must not equal a leaf whose content is the
+    # concatenation of their hashes (second-preimage resistance).
+    inner = merkle_root([b"a", b"b"])
+    assert merkle_root([inner]) != inner
+
+
+def test_proof_out_of_range():
+    tree = MerkleTree([b"a", b"b"])
+    with pytest.raises(IndexError):
+        tree.proof(2)
+
+
+def test_wrong_leaf_fails_verification():
+    tree = MerkleTree([b"a", b"b", b"c", b"d"])
+    proof = tree.proof(2)
+    assert verify_merkle_proof(b"c", proof, tree.root, 4)
+    assert not verify_merkle_proof(b"x", proof, tree.root, 4)
+
+
+def test_wrong_index_fails_verification():
+    tree = MerkleTree([b"a", b"b", b"c", b"d"])
+    proof = tree.proof(2)
+    bad = type(proof)(index=1, siblings=proof.siblings)
+    assert not verify_merkle_proof(b"c", bad, tree.root, 4)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=33))
+def test_all_proofs_verify(leaves):
+    tree = MerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        assert verify_merkle_proof(leaf, tree.proof(i), tree.root, len(leaves))
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=2, max_size=17))
+def test_proofs_do_not_transfer_between_indices(leaves):
+    tree = MerkleTree(leaves)
+    proof0 = tree.proof(0)
+    # Proof for index 0 must not validate leaf at index 1 (unless equal leaves).
+    if leaves[0] != leaves[1]:
+        assert not verify_merkle_proof(leaves[1], proof0, tree.root, len(leaves))

@@ -1,0 +1,102 @@
+"""Export message signing and roundtrip tests."""
+
+import pytest
+
+from repro.bft import BftConfig, Checkpoint, CheckpointCertificate
+from repro.chain import Blockchain, build_block
+from repro.crypto import HmacScheme, KeyStore
+from repro.export import (
+    BlockFetch,
+    BlockFetchReply,
+    DcSync,
+    DeleteAck,
+    DeleteRequest,
+    ReadReply,
+    ReadRequest,
+)
+from repro.wire import Request, SignedRequest
+
+SCHEME = HmacScheme()
+IDS = ["node-0", "node-1", "node-2", "node-3", "dc-0", "dc-1"]
+KEYPAIRS = {i: SCHEME.derive_keypair(i.encode()) for i in IDS}
+KEYSTORE = KeyStore(scheme=SCHEME)
+for _i, _p in KEYPAIRS.items():
+    KEYSTORE.register(_i, _p.public)
+CONFIG = BftConfig(replica_ids=("node-0", "node-1", "node-2", "node-3"))
+
+
+def make_block():
+    chain = Blockchain()
+    request = Request(payload=b"x", bus_cycle=1, recv_timestamp_us=1)
+    signed = SignedRequest.create(request, "node-0", KEYPAIRS["node-0"])
+    return build_block(chain.head.header, [signed], timestamp_us=1, last_sn=1)
+
+
+def make_cert(block):
+    from repro.bft.messages import checkpoint_state_digest
+
+    digest = checkpoint_state_digest(block.block_hash, block.height, [])
+    sigs = tuple(
+        Checkpoint(seq=1, block_height=block.height, block_hash=block.block_hash,
+                   state_digest=digest, replica_id=i).signed(KEYPAIRS[i])
+        for i in ("node-0", "node-1", "node-2")
+    )
+    return CheckpointCertificate(seq=1, block_height=block.height,
+                                 block_hash=block.block_hash, state_digest=digest,
+                                 signatures=sigs)
+
+
+def test_read_request_sign_verify():
+    request = ReadRequest(dc_id="dc-0", last_sn=5, full_from="node-2").signed(KEYPAIRS["dc-0"])
+    assert request.verify(KEYSTORE)
+    forged = ReadRequest(dc_id="dc-0", last_sn=6, full_from="node-2",
+                         signature=request.signature)
+    assert not forged.verify(KEYSTORE)
+
+
+def test_read_reply_sign_verify_with_blocks():
+    block = make_block()
+    reply = ReadReply(replica_id="node-1", checkpoint=make_cert(block),
+                      blocks=(block,)).signed(KEYPAIRS["node-1"])
+    assert reply.verify(KEYSTORE)
+    assert reply.encoded_size() > block.encoded_size()
+
+
+def test_read_reply_without_checkpoint():
+    reply = ReadReply(replica_id="node-1", checkpoint=None, blocks=()).signed(KEYPAIRS["node-1"])
+    assert reply.verify(KEYSTORE)
+
+
+def test_delete_request_binds_block_identity():
+    delete = DeleteRequest(dc_id="dc-0", upto_sn=10, block_height=1,
+                           block_hash=b"\x11" * 32).signed(KEYPAIRS["dc-0"])
+    assert delete.verify(KEYSTORE)
+    moved = DeleteRequest(dc_id="dc-0", upto_sn=10, block_height=2,
+                          block_hash=b"\x11" * 32, signature=delete.signature)
+    assert not moved.verify(KEYSTORE)
+
+
+def test_delete_ack_sign_verify():
+    ack = DeleteAck(replica_id="node-0", block_height=3,
+                    block_hash=b"\x22" * 32).signed(KEYPAIRS["node-0"])
+    assert ack.verify(KEYSTORE)
+
+
+def test_dc_sync_sign_verify():
+    block = make_block()
+    sync = DcSync(dc_id="dc-1", checkpoint=make_cert(block),
+                  blocks=(block,)).signed(KEYPAIRS["dc-1"])
+    assert sync.verify(KEYSTORE)
+
+
+def test_block_fetch_roundtrip():
+    fetch = BlockFetch(dc_id="dc-0", first_height=2, last_height=5).signed(KEYPAIRS["dc-0"])
+    assert fetch.verify(KEYSTORE)
+    reply = BlockFetchReply(replica_id="node-3", blocks=(make_block(),)).signed(KEYPAIRS["node-3"])
+    assert reply.verify(KEYSTORE)
+
+
+def test_unknown_signer_fails_closed():
+    request = ReadRequest(dc_id="dc-9", last_sn=0, full_from="node-0",
+                          signature=b"\x00" * 64)
+    assert not request.verify(KEYSTORE)

@@ -1,0 +1,62 @@
+"""Chain-seeding helper tests."""
+
+from repro.bft import BftConfig
+from repro.crypto import HmacScheme
+from repro.export import seed_chain_and_checkpoints
+from repro.export.seed import clone_chain
+
+SCHEME = HmacScheme()
+IDS = ("node-0", "node-1", "node-2", "node-3")
+KEYPAIRS = {i: SCHEME.derive_keypair(i.encode()) for i in IDS}
+CONFIG = BftConfig(replica_ids=IDS)
+
+
+def test_seeded_chain_verifies():
+    chain, certs = seed_chain_and_checkpoints(CONFIG, KEYPAIRS, n_blocks=10)
+    chain.verify()
+    assert chain.height == 10
+    assert len(certs) == 10
+
+
+def test_certificates_verify_against_keystore():
+    from repro.crypto import KeyStore
+
+    store = KeyStore(scheme=SCHEME)
+    for node_id, pair in KEYPAIRS.items():
+        store.register(node_id, pair.public)
+    chain, certs = seed_chain_and_checkpoints(CONFIG, KEYPAIRS, n_blocks=3)
+    for height, cert in certs.items():
+        assert cert.verify(store, CONFIG)
+        assert cert.block_hash == chain.block_at(height).block_hash
+
+
+def test_block_and_payload_sizing():
+    chain, _ = seed_chain_and_checkpoints(
+        CONFIG, KEYPAIRS, n_blocks=2, requests_per_block=5, payload_bytes=128
+    )
+    block = chain.block_at(1)
+    assert block.header.request_count == 5
+    assert all(len(r.request.payload) == 128 for r in block.requests)
+
+
+def test_sequence_numbers_are_contiguous():
+    chain, certs = seed_chain_and_checkpoints(
+        CONFIG, KEYPAIRS, n_blocks=3, requests_per_block=4
+    )
+    assert chain.block_at(1).last_sn == 4
+    assert chain.block_at(3).last_sn == 12
+    assert certs[3].seq == 12
+
+
+def test_clone_is_independent():
+    chain, certs = seed_chain_and_checkpoints(CONFIG, KEYPAIRS, n_blocks=4)
+    copy = clone_chain(chain)
+    from repro.chain import PruneCertificate
+
+    cert = PruneCertificate(
+        base_height=2, base_block_hash=copy.block_at(2).block_hash,
+        delete_signatures={"dc": b"\x01" * 64},
+    )
+    copy.prune_below(2, cert)
+    assert copy.base_height == 2
+    assert chain.base_height == 0  # original untouched

@@ -1,0 +1,52 @@
+"""Full-stack integration of the LinearBFT backend."""
+
+import pytest
+
+from repro.faults import ByzantineSpec
+from repro.scenarios import ScenarioConfig, SimulatedCluster
+from repro.util import ConfigError
+
+
+def run_cluster(duration=12.0, **kwargs):
+    cluster = SimulatedCluster(ScenarioConfig(system="zugchain",
+                                              bft_backend="linear", **kwargs))
+    result = cluster.run(duration_s=duration, warmup_s=2.0)
+    return cluster, result
+
+
+def test_linear_backend_logs_every_cycle():
+    cluster, result = run_cluster()
+    assert result.requests_logged >= result.requests_expected - 1
+    assert result.view_changes == 0
+    heads = {cluster.nodes[i].chain.head.block_hash for i in cluster.ids}
+    assert len(heads) == 1
+
+
+def test_linear_backend_meets_jru_deadline():
+    _, result = run_cluster()
+    assert result.max_latency_s < 0.5
+    assert result.cpu_utilization < 0.15
+
+
+def test_linear_backend_survives_primary_crash():
+    cluster, result = run_cluster(
+        duration=20.0,
+        byzantine={"node-0": ByzantineSpec(crash_at_s=8.0)},
+    )
+    assert result.view_changes >= 1
+    survivors = [i for i in cluster.ids if i != "node-0"]
+    assert max(len(cluster.nodes[i].latency.since(15.0)) for i in survivors) > 0
+    heads = {cluster.nodes[i].chain.head.block_hash for i in survivors}
+    assert len(heads) == 1
+
+
+def test_linear_backend_checkpoints_support_export_path():
+    cluster, _ = run_cluster()
+    cert = cluster.nodes["node-1"].replica.latest_stable_checkpoint()
+    assert cert is not None
+    assert cert.verify(cluster.keystore, cluster.bft_config)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigError):
+        ScenarioConfig(bft_backend="raft")

@@ -1,0 +1,63 @@
+"""Legacy centralized JRU model tests."""
+
+import pytest
+
+from repro.jru import LegacyJru, LegacyJruConfig
+from repro.util import ConfigError, ProtocolError
+from repro.wire import Request
+
+
+def request(cycle):
+    return Request(payload=b"e%d" % cycle, bus_cycle=cycle, recv_timestamp_us=cycle)
+
+
+def test_records_and_extracts_in_order():
+    jru = LegacyJru()
+    for cycle in range(1, 6):
+        jru.record(request(cycle))
+    extracted = jru.extract("physical-key-1")
+    assert [r.bus_cycle for r in extracted] == [1, 2, 3, 4, 5]
+
+
+def test_ring_overwrites_oldest():
+    jru = LegacyJru(LegacyJruConfig(ring_capacity=3))
+    for cycle in range(1, 6):
+        jru.record(request(cycle))
+    extracted = jru.extract("physical-key-1")
+    assert len(extracted) == 3
+    assert {r.bus_cycle for r in extracted} == {3, 4, 5}
+    assert jru.records_overwritten == 2
+
+
+def test_extraction_requires_physical_key():
+    jru = LegacyJru()
+    jru.record(request(1))
+    with pytest.raises(ProtocolError):
+        jru.extract("wrong-key")
+
+
+def test_destroyed_device_loses_everything():
+    # The single-point-of-failure property ZugChain eliminates.
+    jru = LegacyJru()
+    for cycle in range(1, 10):
+        jru.record(request(cycle))
+    jru.destroy()
+    assert jru.extract("physical-key-1") == []
+    jru.record(request(99))  # recording after destruction is silently lost
+    assert jru.extract("physical-key-1") == []
+
+
+def test_tampering_is_undetectable():
+    # Contrast with the blockchain: the legacy device's checksums are
+    # recomputable by anyone with physical access.
+    jru = LegacyJru()
+    for cycle in range(1, 4):
+        jru.record(request(cycle))
+    jru.tamper(1, request(777))
+    extracted = jru.extract("physical-key-1")
+    assert [r.bus_cycle for r in extracted] == [1, 777, 3]  # forged entry passes
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ConfigError):
+        LegacyJru(LegacyJruConfig(ring_capacity=0))

@@ -1,0 +1,100 @@
+"""Reliability analysis tests (Braband-style)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jru import (
+    data_loss_probability,
+    mtbf_availability,
+    required_nodes_for_target,
+    survival_probability,
+)
+from repro.jru.reliability import group_availability
+from repro.util import ConfigError
+
+
+def test_single_node_survival():
+    assert survival_probability([0.2]) == pytest.approx(0.8)
+
+
+def test_independent_nodes_multiply():
+    # P(no survivor) = 0.2^3
+    assert data_loss_probability(0.2, 3) == pytest.approx(0.2**3)
+
+
+def test_more_nodes_lower_loss():
+    losses = [data_loss_probability(0.3, n) for n in (1, 2, 4, 8)]
+    assert losses == sorted(losses, reverse=True)
+
+
+def test_min_survivors_two():
+    # With p_destroy=0.5 and n=2: P(both survive) = 0.25.
+    assert survival_probability([0.5, 0.5], min_survivors=2) == pytest.approx(0.25)
+
+
+def test_common_cause_floor():
+    # Even many nodes cannot beat the common-cause event probability.
+    loss = data_loss_probability(0.01, 16, correlation=0.001)
+    assert loss >= 0.001
+
+
+def test_heterogeneous_probabilities():
+    # A node in the locomotive (high exposure) plus two in the rear.
+    p = survival_probability([0.9, 0.1, 0.1])
+    assert p == pytest.approx(1 - 0.9 * 0.1 * 0.1)
+
+
+def test_required_nodes_for_target():
+    # Per-node destruction 10%, target loss 1e-4 -> need 4 nodes (0.1^4).
+    assert required_nodes_for_target(0.1, 1e-4) == 4
+    assert required_nodes_for_target(0.1, 1e-3) == 3
+
+
+def test_unreachable_target_returns_none():
+    assert required_nodes_for_target(0.1, 1e-9, correlation=0.01) is None
+
+
+def test_mtbf_availability():
+    # 20,000 h MTBF (Braband's commodity assumption), 24 h repair.
+    a = mtbf_availability(20_000, 24)
+    assert 0.998 < a < 1.0
+
+
+def test_group_availability_quorum():
+    # 4 nodes, quorum 3 (2f+1 with f=1).
+    a = group_availability(0.999, 4, 3)
+    assert a > 0.99999
+    assert group_availability(0.999, 4, 3) > group_availability(0.999, 4, 4)
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigError):
+        survival_probability([])
+    with pytest.raises(ConfigError):
+        survival_probability([1.5])
+    with pytest.raises(ConfigError):
+        survival_probability([0.1], min_survivors=2)
+    with pytest.raises(ConfigError):
+        survival_probability([0.1], correlation=1.0)
+    with pytest.raises(ConfigError):
+        required_nodes_for_target(0.1, 0.0)
+    with pytest.raises(ConfigError):
+        mtbf_availability(0, 1)
+    with pytest.raises(ConfigError):
+        group_availability(0.5, 4, 5)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=12))
+def test_loss_plus_survival_is_one(p, n):
+    loss = data_loss_probability(p, n)
+    survive = survival_probability([p] * n)
+    assert loss + survive == pytest.approx(1.0)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=8),
+)
+def test_survival_monotone_in_min_survivors(probs):
+    one = survival_probability(probs, min_survivors=1)
+    two = survival_probability(probs, min_survivors=2)
+    assert one >= two

@@ -1,0 +1,62 @@
+"""JRU requirement checker tests."""
+
+from repro.jru import check_requirements
+from repro.scenarios.cluster import ScenarioResult
+
+
+def make_result(**overrides):
+    base = dict(
+        system="zugchain",
+        cycle_time_s=0.064,
+        payload_bytes=1024,
+        duration_s=60.0,
+        mean_latency_s=0.013,
+        p99_latency_s=0.015,
+        max_latency_s=0.016,
+        requests_logged=937,
+        requests_expected=937,
+        network_utilization=0.003,
+        cpu_utilization=0.05,
+        memory_mean_bytes=2.5e6,
+        memory_peak_bytes=3.0e6,
+        view_changes=0,
+    )
+    base.update(overrides)
+    return ScenarioResult(**base)
+
+
+def test_passing_run():
+    report = check_requirements(make_result())
+    assert report.all_passed
+    assert len(report.checks) == 4
+    assert all("PASS" in line for line in report.lines())
+
+
+def test_event_rate_requirement():
+    # 64 ms cycle = 15.6 events/s >= 10 required.
+    report = check_requirements(make_result(cycle_time_s=0.064))
+    rate = next(c for c in report.checks if c.name == "event rate")
+    assert rate.passed
+    # 200 ms cycle = 5 events/s < 10.
+    report = check_requirements(make_result(cycle_time_s=0.200))
+    rate = next(c for c in report.checks if c.name == "event rate")
+    assert not rate.passed
+
+
+def test_store_deadline_includes_persistence():
+    report = check_requirements(make_result(max_latency_s=0.498))
+    deadline = next(c for c in report.checks if c.name == "store deadline")
+    assert not deadline.passed  # 498 ms + ~5 ms persist > 500 ms
+
+
+def test_data_loss_detected():
+    report = check_requirements(make_result(requests_logged=900, requests_expected=937))
+    loss = next(c for c in report.checks if c.name == "no data loss")
+    assert not loss.passed
+
+
+def test_cpu_budget():
+    report = check_requirements(make_result(cpu_utilization=0.20))
+    cpu = next(c for c in report.checks if c.name == "shared CPU budget")
+    assert not cpu.passed
+    assert not report.all_passed

@@ -1,0 +1,110 @@
+"""End-to-end test of the ZugChain stack over real asyncio TCP sockets."""
+
+import asyncio
+
+import hypothesis  # noqa: F401  (pre-import: the pytest plugin imports it lazily
+#                   at terminal summary, which on CPython 3.11 can hit the
+#                   "AST constructor recursion depth mismatch" bug when first
+#                   imported inside a deep teardown stack)
+import pytest
+
+from repro.bft import BftConfig
+from repro.bus.nsdb import standard_jru_catalog
+from repro.core import ZugChainConfig, ZugChainNode
+from repro.crypto import HmacScheme, KeyStore
+from repro.runtime.asyncio_runtime import AsyncioCluster
+from repro.wire import Request
+
+SCHEME = HmacScheme()
+IDS = ["node-0", "node-1", "node-2", "node-3"]
+KEYPAIRS = {i: SCHEME.derive_keypair(i.encode()) for i in IDS}
+KEYSTORE = KeyStore(scheme=SCHEME)
+for _i, _p in KEYPAIRS.items():
+    KEYSTORE.register(_i, _p.public)
+
+BFT_CONFIG = BftConfig(replica_ids=tuple(IDS), checkpoint_interval=5)
+ZUG_CONFIG = ZugChainConfig(soft_timeout_s=0.4, hard_timeout_s=0.4,
+                            checkpoint_interval=5)
+
+
+def make_node(env):
+    return ZugChainNode(
+        env=env,
+        bft_config=BFT_CONFIG,
+        zug_config=ZUG_CONFIG,
+        keypair=KEYPAIRS[env.node_id],
+        keystore=KEYSTORE,
+        nsdb=standard_jru_catalog(),
+    )
+
+
+def bus_request(cycle):
+    return Request(payload=b"tcp-cycle-%d" % cycle, bus_cycle=cycle,
+                   recv_timestamp_us=cycle * 20_000)
+
+
+async def _drive(cluster, cycles, interval_s=0.02):
+    for cycle in range(1, cycles + 1):
+        request = bus_request(cycle)
+        # Every node reads the same bus data locally.
+        for node in cluster.nodes().values():
+            node.inject_request(request)
+        await asyncio.sleep(interval_s)
+
+
+async def _wait_until(predicate, timeout_s=10.0):
+    deadline = asyncio.get_event_loop().time() + timeout_s
+    while asyncio.get_event_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.05)
+    return False
+
+
+def run(coro):
+    # asyncio.run cancels lingering connection-handler tasks at shutdown.
+    return asyncio.run(coro)
+
+
+def test_tcp_cluster_orders_and_chains():
+    async def scenario():
+        cluster = AsyncioCluster(make_node, n=4)
+        await cluster.start()
+        try:
+            cycles = 15
+            await _drive(cluster, cycles)
+            done = await _wait_until(
+                lambda: all(n.requests_logged >= cycles for n in cluster.nodes().values())
+            )
+            assert done, "not all nodes logged every request over TCP"
+            heights = {n.chain.height for n in cluster.nodes().values()}
+            assert heights == {cycles // 5}  # block size 5
+            heads = {n.chain.head.block_hash for n in cluster.nodes().values()}
+            assert len(heads) == 1
+            for node in cluster.nodes().values():
+                node.chain.verify()
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_tcp_cluster_filters_duplicates():
+    async def scenario():
+        cluster = AsyncioCluster(make_node, n=4)
+        await cluster.start()
+        try:
+            request = bus_request(1)
+            for _ in range(3):  # bus redelivery of identical data
+                for node in cluster.nodes().values():
+                    node.inject_request(request)
+            await _wait_until(
+                lambda: all(n.requests_logged >= 1 for n in cluster.nodes().values())
+            )
+            await asyncio.sleep(0.3)
+            for node in cluster.nodes().values():
+                assert node.requests_logged == 1  # one payload, logged once
+        finally:
+            await cluster.stop()
+
+    run(scenario())

@@ -1,0 +1,112 @@
+"""Discrete-event kernel tests: ordering, timers, cancellation, determinism."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.util import ProtocolError
+
+
+def test_events_fire_in_time_order():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(0.3, lambda: fired.append("c"))
+    kernel.schedule(0.1, lambda: fired.append("a"))
+    kernel.schedule(0.2, lambda: fired.append("b"))
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_times_fire_in_scheduling_order():
+    kernel = Kernel()
+    fired = []
+    for label in "abcde":
+        kernel.schedule(1.0, lambda label=label: fired.append(label))
+    kernel.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(2.5, lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [2.5]
+    assert kernel.now == 2.5
+
+
+def test_cancelled_timer_does_not_fire():
+    kernel = Kernel()
+    fired = []
+    timer = kernel.schedule(1.0, lambda: fired.append("x"))
+    assert timer.active
+    timer.cancel()
+    assert not timer.active
+    kernel.run()
+    assert fired == []
+
+
+def test_run_until_fires_events_at_deadline_and_advances_clock():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, lambda: fired.append(1))
+    kernel.schedule(2.0, lambda: fired.append(2))
+    kernel.schedule(3.0, lambda: fired.append(3))
+    kernel.run_until(2.0)
+    assert fired == [1, 2]
+    assert kernel.now == 2.0
+    kernel.run_until(5.0)
+    assert fired == [1, 2, 3]
+    assert kernel.now == 5.0
+
+
+def test_nested_scheduling_from_callback():
+    kernel = Kernel()
+    fired = []
+
+    def outer():
+        fired.append(("outer", kernel.now))
+        kernel.schedule(0.5, lambda: fired.append(("inner", kernel.now)))
+
+    kernel.schedule(1.0, outer)
+    kernel.run()
+    assert fired == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_negative_delay_rejected():
+    kernel = Kernel()
+    with pytest.raises(ProtocolError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(ProtocolError):
+        kernel.schedule_at(0.5, lambda: None)
+
+
+def test_pending_excludes_cancelled():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    timer = kernel.schedule(2.0, lambda: None)
+    timer.cancel()
+    assert kernel.pending == 1
+
+
+def test_step_returns_false_when_empty():
+    kernel = Kernel()
+    assert kernel.step() is False
+
+
+def test_run_max_events_bounds_execution():
+    kernel = Kernel()
+    counter = []
+
+    def reschedule():
+        counter.append(1)
+        kernel.schedule(1.0, reschedule)
+
+    kernel.schedule(1.0, reschedule)
+    kernel.run(max_events=10)
+    assert len(counter) == 10

@@ -1,0 +1,59 @@
+"""TimeSeries and LatencyRecorder tests."""
+
+import pytest
+
+from repro.sim import LatencyRecorder, TimeSeries
+
+
+def test_timeseries_stats():
+    ts = TimeSeries(name="cpu")
+    for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+        ts.record(t, v)
+    assert ts.mean() == pytest.approx(2.0)
+    assert ts.maximum() == 3.0
+    assert ts.minimum() == 1.0
+    assert ts.last() == 2.0
+    assert len(ts) == 3
+
+
+def test_timeseries_after():
+    ts = TimeSeries()
+    for t in range(5):
+        ts.record(float(t), float(t))
+    tail = ts.after(2.0)
+    assert tail.times == [2.0, 3.0, 4.0]
+
+
+def test_empty_stats_are_zero():
+    ts = TimeSeries()
+    assert ts.mean() == 0.0 and ts.maximum() == 0.0
+    rec = LatencyRecorder()
+    assert rec.mean() == 0.0 and rec.p99() == 0.0 and rec.maximum() == 0.0
+
+
+def test_latency_percentiles():
+    rec = LatencyRecorder()
+    for i in range(1, 101):
+        rec.record(float(i), float(i))
+    assert rec.median() == pytest.approx(50.5)
+    assert rec.percentile(0) == 1.0
+    assert rec.percentile(100) == 100.0
+    assert rec.p99() == pytest.approx(99.01)
+    assert rec.mean() == pytest.approx(50.5)
+
+
+def test_latency_single_sample():
+    rec = LatencyRecorder()
+    rec.record(1.0, 0.014)
+    assert rec.median() == 0.014
+    assert rec.p99() == 0.014
+
+
+def test_latency_since_and_timeline():
+    rec = LatencyRecorder()
+    rec.record(1.0, 0.010)
+    rec.record(2.0, 0.020)
+    rec.record(3.0, 0.030)
+    assert rec.timeline() == [(1.0, 0.010), (2.0, 0.020), (3.0, 0.030)]
+    tail = rec.since(2.0)
+    assert tail.samples == [0.020, 0.030]

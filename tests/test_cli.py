@@ -1,0 +1,70 @@
+"""CLI tests (driving main() directly)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_run_zugchain():
+    code, output = run_cli("run", "--duration", "6", "--warmup", "1")
+    assert code == 0
+    assert "zugchain" in output
+    assert "chain" in output
+    assert "view changes  : 0" in output
+
+
+def test_run_baseline():
+    code, output = run_cli("run", "--system", "baseline", "--duration", "6", "--warmup", "1")
+    assert code == 0
+    assert "baseline" in output
+
+
+def test_export():
+    code, output = run_cli("export", "--blocks", "50")
+    assert code == 0
+    assert "exported 50 blocks" in output
+    assert "read" in output and "verify" in output
+
+
+def test_reliability_survival():
+    code, output = run_cli("reliability", "--destroy-prob", "0.1", "--nodes", "4")
+    assert code == 0
+    assert "P(total data loss): 1.00e-04" in output
+
+
+def test_reliability_target():
+    code, output = run_cli("reliability", "--destroy-prob", "0.1", "--target", "1e-4")
+    assert code == 0
+    assert "nodes required" in output and "4" in output
+
+
+def test_reliability_unreachable_target():
+    code, output = run_cli("reliability", "--destroy-prob", "0.1",
+                           "--target", "1e-9", "--correlation", "0.01")
+    assert code == 1
+    assert "unreachable" in output
+
+
+def test_requirements_pass():
+    code, output = run_cli("requirements", "--duration", "8")
+    assert code == 0
+    assert output.count("[PASS]") == 4
+
+
+def test_requirements_fail_on_slow_event_rate():
+    code, output = run_cli("requirements", "--cycle-ms", "200", "--duration", "8")
+    assert code == 1
+    assert "[FAIL]" in output
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

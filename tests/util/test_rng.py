@@ -1,0 +1,46 @@
+"""Deterministic RNG registry tests."""
+
+from repro.util import RngRegistry
+
+
+def test_same_seed_same_stream():
+    a = RngRegistry(42).stream("net")
+    b = RngRegistry(42).stream("net")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_independent():
+    reg = RngRegistry(42)
+    a = [reg.stream("net").random() for _ in range(5)]
+    b = [reg.stream("bus").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    reg = RngRegistry(7)
+    assert reg.stream("x") is reg.stream("x")
+
+
+def test_adding_stream_does_not_perturb_existing():
+    reg1 = RngRegistry(42)
+    s1 = reg1.stream("net")
+    first = s1.random()
+
+    reg2 = RngRegistry(42)
+    reg2.stream("something-else")  # extra stream created first
+    s2 = reg2.stream("net")
+    assert s2.random() == first
+
+
+def test_fork_derives_distinct_registry():
+    reg = RngRegistry(42)
+    child_a = reg.fork("node-a")
+    child_b = reg.fork("node-b")
+    assert child_a.master_seed != child_b.master_seed
+    assert child_a.stream("x").random() != child_b.stream("x").random()
+
+
+def test_fork_is_deterministic():
+    a = RngRegistry(42).fork("node-a").stream("x").random()
+    b = RngRegistry(42).fork("node-a").stream("x").random()
+    assert a == b

@@ -1,0 +1,74 @@
+"""Varint and length-prefixed byte-string codec tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    CodecError,
+    decode_bytes,
+    decode_uvarint,
+    encode_bytes,
+    encode_uvarint,
+    uvarint_size,
+)
+
+
+def test_zero_encodes_to_single_byte():
+    assert encode_uvarint(0) == b"\x00"
+
+
+def test_small_values_single_byte():
+    for value in (1, 17, 127):
+        assert len(encode_uvarint(value)) == 1
+
+
+def test_boundary_two_bytes():
+    assert len(encode_uvarint(128)) == 2
+    assert encode_uvarint(300) == b"\xac\x02"  # protobuf's canonical example
+
+
+def test_negative_rejected():
+    with pytest.raises(CodecError):
+        encode_uvarint(-1)
+    with pytest.raises(CodecError):
+        uvarint_size(-5)
+
+
+def test_truncated_varint_rejected():
+    with pytest.raises(CodecError):
+        decode_uvarint(b"\x80")
+
+
+def test_overlong_varint_rejected():
+    with pytest.raises(CodecError):
+        decode_uvarint(b"\xff" * 11)
+
+
+def test_decode_with_offset():
+    data = b"\x05" + encode_uvarint(1000)
+    value, pos = decode_uvarint(data, offset=1)
+    assert value == 1000
+    assert pos == len(data)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_roundtrip(value):
+    encoded = encode_uvarint(value)
+    decoded, pos = decode_uvarint(encoded)
+    assert decoded == value
+    assert pos == len(encoded)
+    assert uvarint_size(value) == len(encoded)
+
+
+@given(st.binary(max_size=512))
+def test_bytes_roundtrip(payload):
+    encoded = encode_bytes(payload)
+    decoded, pos = decode_bytes(encoded)
+    assert decoded == payload
+    assert pos == len(encoded)
+
+
+def test_truncated_bytes_rejected():
+    encoded = encode_bytes(b"hello")
+    with pytest.raises(CodecError):
+        decode_bytes(encoded[:-1])

@@ -1,0 +1,93 @@
+"""Writer/Reader codec tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import CodecError
+from repro.wire import Reader, Writer
+
+
+def test_uint_roundtrip():
+    data = Writer().put_uint(0).put_uint(300).put_uint(2**40).getvalue()
+    reader = Reader(data)
+    assert reader.get_uint() == 0
+    assert reader.get_uint() == 300
+    assert reader.get_uint() == 2**40
+    reader.expect_end()
+
+
+def test_bool_roundtrip():
+    data = Writer().put_bool(True).put_bool(False).getvalue()
+    reader = Reader(data)
+    assert reader.get_bool() is True
+    assert reader.get_bool() is False
+
+
+def test_invalid_bool_rejected():
+    with pytest.raises(CodecError):
+        Reader(b"\x02").get_bool()
+
+
+def test_truncated_bool_rejected():
+    with pytest.raises(CodecError):
+        Reader(b"").get_bool()
+
+
+def test_bytes_and_str_roundtrip():
+    data = Writer().put_bytes(b"\x00\xff").put_str("zugchain").getvalue()
+    reader = Reader(data)
+    assert reader.get_bytes() == b"\x00\xff"
+    assert reader.get_str() == "zugchain"
+
+
+def test_invalid_utf8_rejected():
+    data = Writer().put_bytes(b"\xff\xfe").getvalue()
+    with pytest.raises(CodecError):
+        Reader(data).get_str()
+
+
+def test_fixed_field_roundtrip():
+    data = Writer().put_fixed(b"\xaa" * 32, 32).getvalue()
+    assert Reader(data).get_fixed(32) == b"\xaa" * 32
+
+
+def test_fixed_field_wrong_size_rejected():
+    with pytest.raises(CodecError):
+        Writer().put_fixed(b"\xaa" * 31, 32)
+    with pytest.raises(CodecError):
+        Reader(b"\xaa" * 31).get_fixed(32)
+
+
+def test_list_roundtrip():
+    data = Writer().put_list([1, 2, 3], lambda w, x: w.put_uint(x)).getvalue()
+    assert Reader(data).get_list(lambda r: r.get_uint()) == [1, 2, 3]
+
+
+def test_empty_list():
+    data = Writer().put_list([], lambda w, x: w.put_uint(x)).getvalue()
+    assert Reader(data).get_list(lambda r: r.get_uint()) == []
+
+
+def test_forged_list_count_rejected():
+    # A count far beyond the remaining bytes must not cause huge allocations.
+    data = Writer().put_uint(10**9).getvalue()
+    with pytest.raises(CodecError):
+        Reader(data).get_list(lambda r: r.get_uint())
+
+
+def test_expect_end_detects_trailing_bytes():
+    reader = Reader(b"\x01\x02")
+    reader.get_uint()
+    with pytest.raises(CodecError):
+        reader.expect_end()
+
+
+def test_writer_len_matches_output():
+    writer = Writer().put_uint(300).put_bytes(b"xyz")
+    assert len(writer) == len(writer.getvalue())
+
+
+@given(st.lists(st.binary(max_size=64), max_size=20))
+def test_list_of_bytes_roundtrip(items):
+    data = Writer().put_list(items, lambda w, b: w.put_bytes(b)).getvalue()
+    assert Reader(data).get_list(lambda r: r.get_bytes()) == items
