@@ -139,7 +139,7 @@ class PbftClient:
         the restarted view-change timers on the backups expire.
         """
         self._primary_hint = primary_id
-        for digest, pending in self._pending.items():
+        for digest, pending in sorted(self._pending.items()):
             if pending.timer is not None:
                 pending.timer.cancel()
             self.env.send(primary_id, ClientRequestWrapper(request=pending.signed))

@@ -1,0 +1,49 @@
+"""Baseline files: absorb known findings, fail loudly on new ones.
+
+A baseline is a JSON document of finding fingerprints
+(``path::CODE::line``).  The repo checks in an **empty** baseline
+(`lint-baseline.json`), so any future violation is a hard CI failure
+rather than quietly accreting; the mechanism exists so a large sweep can
+be landed incrementally if that ever becomes necessary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.lint.engine import Finding, LintError
+
+#: Looked up in the current working directory when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def load_baseline(path: str) -> set[str]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("suppressed"), list):
+        raise LintError(f"baseline {path} must be {{\"suppressed\": [...]}}")
+    return {str(item) for item in data["suppressed"]}
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    payload = {
+        "tool": "zuglint",
+        "suppressed": sorted({finding.fingerprint for finding in findings}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def find_default_baseline() -> str | None:
+    return DEFAULT_BASELINE_NAME if os.path.exists(DEFAULT_BASELINE_NAME) else None
+
+
+def apply_baseline(findings: list[Finding], suppressed: set[str]) -> list[Finding]:
+    return [finding for finding in findings if finding.fingerprint not in suppressed]

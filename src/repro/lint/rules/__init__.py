@@ -1,0 +1,5 @@
+"""Rule plugins.  Importing this package registers every shipped rule."""
+
+from repro.lint.rules import determinism, protocol  # noqa: F401
+
+__all__ = ["determinism", "protocol"]

@@ -1,0 +1,329 @@
+"""DET00x — determinism rules.
+
+The simulation's central invariant is bit-for-bit reproducibility: the
+same seed must produce the same chain, the same latencies, the same
+export payloads.  Every rule here flags a construct that silently breaks
+that invariant — wall clocks, ambient randomness, unordered iteration
+feeding hashes or wire bytes, identity-based ordering, and exact float
+comparison on virtual-time deadlines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import call_name, dotted_name, terminal_name
+from repro.lint.engine import FileContext, Finding, Rule, register_rule
+
+#: Modules in which real wall-clock access is the whole point (the asyncio
+#: runtime bridges virtual time to real sockets).
+_WALL_CLOCK_EXEMPT_PREFIX = "repro.runtime"
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+}
+
+#: ``random.<fn>()`` module-level calls that draw from the ambient,
+#: process-global RNG.  (Type annotations like ``rng: random.Random`` are
+#: not calls and are never flagged.)
+_AMBIENT_RANDOM_FUNCS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+_RNG_EXEMPT_MODULE = "repro.util.rng"
+
+#: Callees whose argument order becomes protocol-visible: hashes, Merkle
+#: commitments, wire writers, message emission.
+_ORDER_SINKS = {
+    "sha256",
+    "sha512",
+    "blake2b",
+    "merkle_root",
+    "encode_message",
+    "put_list",
+    "put_bytes",
+    "sign",
+    "send",
+    "broadcast",
+}
+
+#: Names that denote an absolute point in virtual time.
+_DEADLINE_HINTS = ("deadline", "expiry", "expires", "fire_at", "due_at")
+
+
+@register_rule
+class WallClockRule(Rule):
+    code = "DET001"
+    name = "wall-clock"
+    description = (
+        "wall-clock access (time.time/monotonic/perf_counter, datetime.now, ...) "
+        "outside repro.runtime; simulated code must use env.now()"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module.startswith(_WALL_CLOCK_EXEMPT_PREFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = call_name(node)
+            if callee in _WALL_CLOCK_CALLS:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"wall-clock call {callee}() breaks determinism; "
+                        "take time from env.now() / the kernel clock"
+                    ),
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+
+@register_rule
+class AmbientRandomRule(Rule):
+    code = "DET002"
+    name = "ambient-random"
+    description = (
+        "module-level random.* calls or unseeded random.Random() outside "
+        "repro.util.rng; randomness must come from seeded RngRegistry streams"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == _RNG_EXEMPT_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+            ):
+                continue
+            if func.attr == "Random" and not node.args and not node.keywords:
+                message = (
+                    "unseeded random.Random() is seeded from the OS; "
+                    "derive streams via repro.util.rng.RngRegistry"
+                )
+            elif func.attr == "SystemRandom":
+                message = "random.SystemRandom() is nondeterministic by design"
+            elif func.attr in _AMBIENT_RANDOM_FUNCS:
+                message = (
+                    f"module-level random.{func.attr}() uses the ambient global RNG; "
+                    "draw from a named RngRegistry stream instead"
+                )
+            else:
+                continue
+            yield Finding(
+                code=self.code,
+                message=message,
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+            )
+
+
+def _is_unordered_iterable(node: ast.AST) -> bool:
+    """Does ``node`` produce elements in hash order (sets, dict views)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute) and node.func.attr in ("keys", "values", "items"):
+            return True
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+    return False
+
+
+def _comprehension_over_unordered(node: ast.AST) -> bool:
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return any(_is_unordered_iterable(gen.iter) for gen in node.generators)
+    return False
+
+
+def _sink_callee(node: ast.Call) -> str | None:
+    name = terminal_name(node.func)
+    return name if name in _ORDER_SINKS else None
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    code = "DET003"
+    name = "unordered-iteration"
+    description = (
+        "iteration over a set or dict view feeding a hash, codec writer, or "
+        "message emission without sorted(); replicas diverge silently"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                sink = _sink_callee(node)
+                if sink is None:
+                    continue
+                args: list[ast.AST] = list(node.args)
+                args.extend(
+                    kw.value for kw in node.keywords if kw.arg != "domain"
+                )
+                for arg in args:
+                    inner = arg.value if isinstance(arg, ast.Starred) else arg
+                    if _is_unordered_iterable(inner) or _comprehension_over_unordered(inner):
+                        yield Finding(
+                            code=self.code,
+                            message=(
+                                f"unordered set/dict iteration feeds {sink}(); "
+                                "wrap the iterable in sorted(...) for a canonical order"
+                            ),
+                            path=ctx.path,
+                            line=inner.lineno,
+                            col=inner.col_offset,
+                        )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if not _is_unordered_iterable(node.iter):
+                    continue
+                for inner in node.body:
+                    for sub in ast.walk(inner):
+                        if isinstance(sub, ast.Call) and (sink := _sink_callee(sub)):
+                            yield Finding(
+                                code=self.code,
+                                message=(
+                                    f"loop over unordered set/dict view calls {sink}(); "
+                                    "iterate sorted(...) so emission order is canonical"
+                                ),
+                                path=ctx.path,
+                                line=node.lineno,
+                                col=node.col_offset,
+                            )
+                            break
+                    else:
+                        continue
+                    break
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+def _contains_id_call(node: ast.AST) -> bool:
+    return any(_is_id_call(sub) for sub in ast.walk(node))
+
+
+@register_rule
+class IdOrderingRule(Rule):
+    code = "DET004"
+    name = "id-ordering"
+    description = (
+        "ordering by id() — CPython addresses vary run to run, so any "
+        "id()-keyed sort or comparison is nondeterministic"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                ordering_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+                if any(isinstance(op, ordering_ops) for op in node.ops) and any(
+                    _is_id_call(operand) for operand in operands
+                ):
+                    yield Finding(
+                        code=self.code,
+                        message="ordering comparison on id(); use a stable key instead",
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+            elif isinstance(node, ast.keyword) and node.arg == "key":
+                value = node.value
+                keyed_by_id = (
+                    isinstance(value, ast.Name) and value.id == "id"
+                ) or (isinstance(value, ast.Lambda) and _contains_id_call(value.body))
+                if keyed_by_id:
+                    yield Finding(
+                        code=self.code,
+                        message="sort key uses id(); object addresses differ across runs",
+                        path=ctx.path,
+                        line=value.lineno,
+                        col=value.col_offset,
+                    )
+
+
+def _mentions_deadline(node: ast.AST) -> bool:
+    name = terminal_name(node)
+    if name is not None:
+        lowered = name.lower()
+        if any(hint in lowered for hint in _DEADLINE_HINTS):
+            return True
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee is not None and callee.split(".")[-1] == "now":
+            return True
+    return False
+
+
+@register_rule
+class FloatDeadlineEqualityRule(Rule):
+    code = "DET005"
+    name = "float-deadline-eq"
+    description = (
+        "exact float ==/!= against a timer deadline or now(); float "
+        "arithmetic makes exact hits unreliable — compare with <=/>="
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_mentions_deadline(operand) for operand in operands):
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        "exact equality on a virtual-time deadline; "
+                        "use an ordering comparison (<=, >=) or an epsilon"
+                    ),
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )

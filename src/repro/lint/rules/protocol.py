@@ -1,0 +1,231 @@
+"""PROTO00x — protocol-safety rules.
+
+Replicated-state-machine deployments fail less from clever Byzantine
+attacks than from mundane serialization gaps: a message type that was
+never registered, two types silently sharing a wire tag, a handler that
+swallows a decode error and desynchronizes one replica.  These rules
+cross-check the codec surface (`repro.wire.registry`) against the message
+modules so those gaps fail the build instead of a night run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.astutil import enclosing_function, terminal_name
+from repro.lint.engine import FileContext, Finding, Project, Rule, register_rule
+
+#: Modules whose ``encode``/``decode`` classes must be registered with the
+#: wire envelope registry.
+_MESSAGE_MODULE_RE = re.compile(r"^repro\.(bft|core|export|wire)\.messages$")
+
+#: The canonical tag table and the registration entry point.
+_TAG_TABLE_NAME = "WIRE_TAGS"
+_REGISTER_FUNC = "register_message_type"
+
+_HANDLER_NAME_RE = re.compile(r"^(on_|_on_|handle_|_handle_?)|receive|deliver|dispatch")
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
+
+
+def _codec_classes(ctx: FileContext) -> Iterator[ast.ClassDef]:
+    """Public classes defining both ``encode`` and ``decode``."""
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+            continue
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if {"encode", "decode"} <= methods:
+            yield node
+
+
+def _registrations(ctx: FileContext) -> Iterator[tuple[int | None, str, int]]:
+    """Yield ``(tag, class_name, lineno)`` registration facts in one file.
+
+    Facts come from literal ``WIRE_TAGS = {tag: Class}`` tables and direct
+    ``register_message_type(tag, Class)`` calls; dynamic registrations
+    (computed tags, aliased classes) are invisible to static analysis and
+    intentionally ignored.
+    """
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if _TAG_TABLE_NAME in targets and isinstance(node.value, ast.Dict):
+                for key, value in zip(node.value.keys, node.value.values):
+                    tag = key.value if isinstance(key, ast.Constant) and isinstance(key.value, int) else None
+                    name = terminal_name(value)
+                    if name is not None:
+                        yield tag, name, (key or value).lineno
+        elif isinstance(node, ast.Call):
+            callee = terminal_name(node.func)
+            if callee == _REGISTER_FUNC and len(node.args) >= 2:
+                tag_node, cls_node = node.args[0], node.args[1]
+                tag = tag_node.value if isinstance(tag_node, ast.Constant) and isinstance(tag_node.value, int) else None
+                name = terminal_name(cls_node)
+                if name is not None:
+                    yield tag, name, node.lineno
+
+
+@register_rule
+class UnregisteredCodecRule(Rule):
+    code = "PROTO001"
+    name = "unregistered-codec"
+    description = (
+        "a class with encode/decode in a repro.*.messages module that is "
+        "never registered with register_message_type — it cannot cross a "
+        "process boundary and silently escapes round-trip tests"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        registered: set[str] = set()
+        saw_registry = False
+        for ctx in project.files:
+            for _tag, name, _line in _registrations(ctx):
+                registered.add(name)
+                saw_registry = True
+        if not saw_registry:
+            # Single-file invocations can't see wire/tags.py; stay silent
+            # rather than flag every message class in sight.
+            return
+        for ctx in project.files:
+            if not _MESSAGE_MODULE_RE.match(ctx.module):
+                continue
+            for cls in _codec_classes(ctx):
+                if cls.name not in registered:
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"codec class {cls.name} defines encode/decode but is never "
+                            "passed to register_message_type (wire/tags.py)"
+                        ),
+                        path=ctx.path,
+                        line=cls.lineno,
+                        col=cls.col_offset,
+                    )
+
+
+@register_rule
+class DuplicateWireTagRule(Rule):
+    code = "PROTO002"
+    name = "duplicate-wire-tag"
+    description = (
+        "the same wire tag statically assigned to two different classes "
+        "(across WIRE_TAGS tables and register_message_type calls)"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        first_owner: dict[int, tuple[str, str, int]] = {}
+        for ctx in project.files:
+            for tag, name, lineno in _registrations(ctx):
+                if tag is None:
+                    continue
+                owner = first_owner.get(tag)
+                if owner is None:
+                    first_owner[tag] = (name, ctx.path, lineno)
+                elif owner[0] != name:
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"wire tag {tag} assigned to {name} but already owned by "
+                            f"{owner[0]} ({owner[1]}:{owner[2]}); tags are stable API"
+                        ),
+                        path=ctx.path,
+                        line=lineno,
+                        col=0,
+                    )
+
+
+def _is_trivial_body(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    code = "PROTO003"
+    name = "swallowed-exception"
+    description = (
+        "bare except, or except Exception with an empty body — in a message "
+        "handler this turns a decode/verify failure into silent replica "
+        "divergence"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    code=self.code,
+                    message="bare except catches everything including KeyboardInterrupt; name the exception",
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+                continue
+            broad = terminal_name(node.type) in ("Exception", "BaseException")
+            if broad and _is_trivial_body(node.body):
+                func = enclosing_function(node, ctx.parents)
+                where = (
+                    f"in handler {func.name}()"
+                    if func is not None and _HANDLER_NAME_RE.search(func.name)
+                    else "here"
+                )
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"except {terminal_name(node.type)}: pass {where} swallows failures "
+                        "silently; log, re-raise, or narrow the exception"
+                    ),
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    code = "PROTO004"
+    name = "mutable-default"
+    description = (
+        "mutable default argument ([], {}, set(), ...) — shared across calls, "
+        "a classic source of state bleeding between nodes in one process"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                mutable = isinstance(
+                    default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and terminal_name(default.func) in _MUTABLE_CONSTRUCTORS
+                )
+                if mutable:
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            "mutable default argument is evaluated once and shared "
+                            "across calls; default to None and create inside"
+                        ),
+                        path=ctx.path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                    )

@@ -3,6 +3,14 @@
 Used wherever messages cross a process boundary for real — disk
 persistence, export payload framing, and transport round-trip tests.
 Each message module registers its types at import time.
+
+Registration is strict: a tag permanently belongs to the first class
+registered under it, and a class to its first tag.  Re-registering the
+same ``(tag, cls)`` pair is an idempotent no-op (modules may be imported
+through several paths); any conflicting registration raises
+:class:`~repro.util.errors.CodecError` instead of silently shadowing the
+earlier binding — silent shadowing is exactly the class of bug zuglint's
+PROTO002 rule exists to catch statically.
 """
 
 from __future__ import annotations
@@ -13,15 +21,40 @@ from repro.util.errors import CodecError
 from repro.util.varint import decode_bytes, decode_uvarint, encode_bytes, encode_uvarint
 
 _DECODERS: dict[int, Callable[[bytes], object]] = {}
+_CLASSES: dict[int, type] = {}
 _TAGS: dict[type, int] = {}
 
 
 def register_message_type(tag: int, cls: type, decoder: Callable[[bytes], object] | None = None) -> None:
-    """Register ``cls`` (with an ``encode`` method) under wire ``tag``."""
-    if tag in _DECODERS and _DECODERS[tag] is not (decoder or cls.decode):
-        raise CodecError(f"wire tag {tag} already registered")
+    """Register ``cls`` (with an ``encode`` method) under wire ``tag``.
+
+    Raises :class:`CodecError` if ``tag`` is already bound to a different
+    class, or ``cls`` is already bound to a different tag.
+    """
+    registered = _CLASSES.get(tag)
+    if registered is not None and registered is not cls:
+        raise CodecError(
+            f"wire tag {tag} already registered for {registered.__name__}; "
+            f"refusing to rebind it to {cls.__name__}"
+        )
+    existing_tag = _TAGS.get(cls)
+    if existing_tag is not None and existing_tag != tag:
+        raise CodecError(
+            f"message type {cls.__name__} already registered under tag "
+            f"{existing_tag}; refusing to also register it under {tag}"
+        )
+    _CLASSES[tag] = cls
     _DECODERS[tag] = decoder or cls.decode
     _TAGS[cls] = tag
+
+
+def registered_types() -> dict[int, type]:
+    """Snapshot of every ``tag → class`` binding, for introspection.
+
+    Consumed by the dynamic round-trip test (every registered type must
+    encode/decode through the envelope) and available to tooling.
+    """
+    return dict(_CLASSES)
 
 
 def encode_message(message: object) -> bytes:

@@ -14,6 +14,7 @@ from repro.bft.messages import (
     NewView,
     PrePrepare,
     Prepare,
+    PreparedProof,
     ViewChange,
 )
 from repro.chain.block import Block, BlockHeader
@@ -41,6 +42,7 @@ WIRE_TAGS = {
     14: ViewChange,
     15: NewView,
     16: CheckpointCertificate,
+    17: PreparedProof,
     20: ClientRequestWrapper,
     21: Reply,
     30: ZugBroadcast,

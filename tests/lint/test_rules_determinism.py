@@ -1,0 +1,185 @@
+"""DET00x rules: one triggering and one clean fixture per code."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(source, path="src/repro/sim/fixture.py", select=None):
+    return lint_sources({path: textwrap.dedent(source)}, select=select)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+# --- DET001: wall clock -------------------------------------------------
+
+def test_det001_flags_wall_clock_calls():
+    findings = run(
+        """
+        import time
+        from datetime import datetime
+
+        def stamp():
+            started = time.time()
+            tick = time.monotonic()
+            precise = time.perf_counter()
+            wall = datetime.now()
+            return started, tick, precise, wall
+        """,
+        select=["DET001"],
+    )
+    assert codes(findings) == ["DET001"] * 4
+
+
+def test_det001_clean_inside_runtime_and_for_env_now():
+    assert not run(
+        """
+        import time
+
+        def bridge():
+            return time.monotonic()
+        """,
+        path="src/repro/runtime/bridge.py",
+        select=["DET001"],
+    )
+    assert not run(
+        """
+        def stamp(env):
+            return env.now()
+        """,
+        select=["DET001"],
+    )
+
+
+# --- DET002: ambient randomness -----------------------------------------
+
+def test_det002_flags_ambient_random():
+    findings = run(
+        """
+        import random
+
+        def jitter():
+            a = random.random()
+            b = random.randint(0, 10)
+            rng = random.Random()
+            srng = random.SystemRandom()
+            return a, b, rng, srng
+        """,
+        select=["DET002"],
+    )
+    assert codes(findings) == ["DET002"] * 4
+
+
+def test_det002_clean_for_seeded_and_injected_rng():
+    assert not run(
+        """
+        import random
+
+        def build(seed: int, rng: random.Random):
+            local = random.Random(seed)
+            return local.random() + rng.random()
+        """,
+        select=["DET002"],
+    )
+    # The stream factory itself is the one sanctioned construction site.
+    assert not run(
+        """
+        import random
+
+        def stream(seed):
+            return random.Random(seed)
+        """,
+        path="src/repro/util/rng.py",
+        select=["DET002"],
+    )
+
+
+# --- DET003: unordered iteration into hashing/encoding/emission ----------
+
+def test_det003_flags_unordered_iteration_feeding_sinks():
+    findings = run(
+        """
+        def digest(entries):
+            return sha256(*entries.values())
+
+        def frame(writer, entries):
+            writer.put_list([entry.encode() for entry in entries.keys()], enc)
+
+        def emit(env, peers):
+            for peer in set(peers):
+                env.send(peer, b"hello")
+        """,
+        select=["DET003"],
+    )
+    assert codes(findings) == ["DET003"] * 3
+
+
+def test_det003_clean_when_sorted_or_order_insensitive():
+    assert not run(
+        """
+        def digest(entries):
+            return sha256(*sorted(entries.values()))
+
+        def emit(env, peers):
+            for peer in sorted(set(peers)):
+                env.send(peer, b"hello")
+
+        def total(sizes):
+            return sum(size for size in sizes.values())
+        """,
+        select=["DET003"],
+    )
+
+
+# --- DET004: id()-based ordering ----------------------------------------
+
+def test_det004_flags_id_ordering():
+    findings = run(
+        """
+        def order(nodes, a, b):
+            ranked = sorted(nodes, key=id)
+            nodes.sort(key=lambda node: id(node))
+            return ranked, id(a) < id(b)
+        """,
+        select=["DET004"],
+    )
+    assert codes(findings) == ["DET004"] * 3
+
+
+def test_det004_clean_for_stable_keys_and_identity_checks():
+    assert not run(
+        """
+        def order(nodes, a, b):
+            ranked = sorted(nodes, key=lambda node: node.node_id)
+            return ranked, id(a) == id(b)
+        """,
+        select=["DET004"],
+    )
+
+
+# --- DET005: float equality on deadlines ---------------------------------
+
+def test_det005_flags_exact_deadline_equality():
+    findings = run(
+        """
+        def fire(env, timer, expires_at):
+            if timer.deadline == env.now():
+                return True
+            return env.now() != expires_at
+        """,
+        select=["DET005"],
+    )
+    assert codes(findings) == ["DET005"] * 2
+
+
+def test_det005_clean_for_ordering_comparisons():
+    assert not run(
+        """
+        def fire(kernel, timer, count):
+            due = kernel.now >= timer.deadline
+            return due and count == 5
+        """,
+        select=["DET005"],
+    )

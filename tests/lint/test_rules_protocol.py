@@ -1,0 +1,201 @@
+"""PROTO00x rules: one triggering and one clean fixture per code."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(sources, select=None):
+    return lint_sources(
+        {path: textwrap.dedent(source) for path, source in sources.items()},
+        select=select,
+    )
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+MESSAGE_MODULE = "src/repro/export/messages.py"
+TAG_TABLE = "src/repro/wire/tags.py"
+
+
+# --- PROTO001: codec class never registered ------------------------------
+
+def test_proto001_flags_unregistered_codec_class():
+    findings = run(
+        {
+            MESSAGE_MODULE: """
+            class Ping:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+
+            class _Scaffold:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+            """,
+            TAG_TABLE: """
+            WIRE_TAGS = {1: Pong}
+
+            for _tag, _cls in WIRE_TAGS.items():
+                register_message_type(_tag, _cls)
+            """,
+        },
+        select=["PROTO001"],
+    )
+    # Ping is flagged; the private _Scaffold helper is not.
+    assert codes(findings) == ["PROTO001"]
+    assert "Ping" in findings[0].message
+
+
+def test_proto001_clean_when_registered_and_without_registry_in_view():
+    registered = run(
+        {
+            MESSAGE_MODULE: """
+            class Ping:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+            """,
+            TAG_TABLE: """
+            WIRE_TAGS = {1: Ping}
+            register_message_type(1, Ping)
+            """,
+        },
+        select=["PROTO001"],
+    )
+    assert not registered
+    # Single-file run without the tag table in scope: rule stays silent
+    # instead of flagging every message class.
+    partial = run(
+        {
+            MESSAGE_MODULE: """
+            class Ping:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+            """
+        },
+        select=["PROTO001"],
+    )
+    assert not partial
+
+
+# --- PROTO002: duplicate wire tags ---------------------------------------
+
+def test_proto002_flags_same_tag_for_two_classes():
+    within_table = run(
+        {TAG_TABLE: "WIRE_TAGS = {1: Ping, 1: Pong}\n"},
+        select=["PROTO002"],
+    )
+    assert codes(within_table) == ["PROTO002"]
+    assert "tag 1" in within_table[0].message
+
+    across_files = run(
+        {
+            "src/repro/wire/tags.py": "register_message_type(5, Ping)\n",
+            "src/repro/export/extra_tags.py": "register_message_type(5, Pong)\n",
+        },
+        select=["PROTO002"],
+    )
+    assert codes(across_files) == ["PROTO002"]
+
+
+def test_proto002_clean_for_unique_and_idempotent_tags():
+    assert not run(
+        {
+            "src/repro/wire/tags.py": "WIRE_TAGS = {1: Ping, 2: Pong}\n",
+            "src/repro/export/extra_tags.py": "register_message_type(1, Ping)\n",
+        },
+        select=["PROTO002"],
+    )
+
+
+# --- PROTO003: swallowed exceptions --------------------------------------
+
+def test_proto003_flags_bare_except_and_silent_handler():
+    findings = run(
+        {
+            "src/repro/core/node.py": """
+            def on_request(node, raw):
+                try:
+                    node.deliver(raw)
+                except Exception:
+                    pass
+
+            def probe(node):
+                try:
+                    node.poke()
+                except:
+                    return None
+            """
+        },
+        select=["PROTO003"],
+    )
+    assert codes(findings) == ["PROTO003", "PROTO003"]
+    assert "on_request" in findings[0].message
+
+
+def test_proto003_clean_for_narrow_or_handled_exceptions():
+    assert not run(
+        {
+            "src/repro/core/node.py": """
+            def on_request(node, raw):
+                try:
+                    node.deliver(raw)
+                except ValueError:
+                    pass
+
+            def probe(node, log):
+                try:
+                    node.poke()
+                except Exception as exc:
+                    log.warning("poke failed: %s", exc)
+                    raise
+            """
+        },
+        select=["PROTO003"],
+    )
+
+
+# --- PROTO004: mutable default arguments ---------------------------------
+
+def test_proto004_flags_mutable_defaults():
+    findings = run(
+        {
+            "src/repro/core/layer.py": """
+            def enqueue(item, queue=[], index={}, seen=set()):
+                queue.append(item)
+            """
+        },
+        select=["PROTO004"],
+    )
+    assert codes(findings) == ["PROTO004"] * 3
+
+
+def test_proto004_clean_for_immutable_defaults():
+    assert not run(
+        {
+            "src/repro/core/layer.py": """
+            def enqueue(item, queue=None, links=(), name="mvb0"):
+                if queue is None:
+                    queue = []
+                queue.append(item)
+            """
+        },
+        select=["PROTO004"],
+    )

@@ -94,12 +94,21 @@ def test_encoded_size_matches_wire_bytes():
 
 
 def test_registry_roundtrip():
-    register_message_type(900, Request)
+    import repro.wire.tags  # noqa: F401  (loads the canonical tag table)
+
     request = make_request()
     encoded = encode_message(request)
     decoded, consumed = decode_message(encoded)
     assert decoded == request
     assert consumed == len(encoded)
+
+
+def test_registry_rejects_second_tag_for_same_class():
+    import repro.wire.tags  # noqa: F401
+    from repro.util import CodecError
+
+    with pytest.raises(CodecError):
+        register_message_type(900, Request)
 
 
 def test_registry_unknown_tag():
