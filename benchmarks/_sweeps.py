@@ -7,6 +7,7 @@ sweeps) do not re-simulate.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 from repro.scenarios import ScenarioConfig, ScenarioResult, SimulatedCluster
@@ -17,11 +18,18 @@ PAYLOAD_BYTES = (32, 1024, 4096, 8192)
 DEFAULT_CYCLE_S = 0.064
 DEFAULT_PAYLOAD = 1024
 
+#: CI smoke mode (``ZUGCHAIN_BENCH_SMOKE=1``): runs every benchmark at a
+#: sharply reduced simulated duration so the whole figure suite executes in
+#: minutes.  Absolute numbers are not meaningful at this duration, so the
+#: benchmarks skip their quantitative shape assertions and only prove the
+#: sweeps still run end to end.
+SMOKE = os.environ.get("ZUGCHAIN_BENCH_SMOKE", "") not in ("", "0")
+
 #: Simulated duration per point.  The paper runs 5 minutes; 24 s preserves
 #: every qualitative result (steady state is reached within seconds) while
 #: keeping the full suite's wall time reasonable.
-DURATION_S = 24.0
-WARMUP_S = 3.0
+DURATION_S = 6.0 if SMOKE else 24.0
+WARMUP_S = 1.5 if SMOKE else 3.0
 
 
 @lru_cache(maxsize=None)
@@ -51,7 +59,7 @@ def cycle_sweep(system: str) -> list[ScenarioResult]:
     out = []
     for cycle in BUS_CYCLES_S:
         duration = DURATION_S
-        if system == "baseline" and cycle <= 0.032:
+        if system == "baseline" and cycle <= 0.032 and not SMOKE:
             duration = 40.0
         out.append(sweep_point(system, cycle, DEFAULT_PAYLOAD, duration))
     return out

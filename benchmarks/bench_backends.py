@@ -10,10 +10,12 @@ signature verifications per request and lower network utilization.
 from repro.analysis import format_table, ratio
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
+from benchmarks._sweeps import DURATION_S, SMOKE, WARMUP_S
+
 
 def _run(backend: str):
     cluster = SimulatedCluster(ScenarioConfig(system="zugchain", bft_backend=backend))
-    result = cluster.run(duration_s=24.0, warmup_s=3.0)
+    result = cluster.run(duration_s=DURATION_S, warmup_s=WARMUP_S)
     return cluster, result
 
 
@@ -35,6 +37,8 @@ def bench_backends(benchmark):
     print(format_table(["backend", "latency", "net", "cpu", "logged", "view changes"],
                        rows, title="ZugChain layer over two BFT backends (64 ms, 1 kB)"))
 
+    if SMOKE:  # short runs prove both backends execute; the numbers aren't settled
+        return
     # Both backends complete the workload without view changes.
     assert pbft.view_changes == 0 and linear.view_changes == 0
     assert linear.requests_logged >= linear.requests_expected - 1

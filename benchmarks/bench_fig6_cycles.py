@@ -9,7 +9,7 @@ runs; the factor grows with run length since the backlog is unbounded).
 
 from repro.analysis import Sweep, format_table, ratio
 
-from benchmarks._sweeps import BUS_CYCLES_S, cycle_sweep, sweep_point
+from benchmarks._sweeps import BUS_CYCLES_S, SMOKE, cycle_sweep, sweep_point
 
 
 def bench_fig6_cycles(benchmark):
@@ -36,6 +36,8 @@ def bench_fig6_cycles(benchmark):
     ))
 
     # -- shape assertions ------------------------------------------------------
+    if SMOKE:  # short runs prove the sweep executes; the numbers aren't settled
+        return
     for zc, base in zip(zugchain, baseline):
         # ZugChain latency is flat across cycles and well under the deadline.
         assert zc.mean_latency_s < 0.020

@@ -7,7 +7,7 @@ and the baseline's network utilization stays ~4x.
 
 from repro.analysis import format_table, ratio
 
-from benchmarks._sweeps import PAYLOAD_BYTES, payload_sweep
+from benchmarks._sweeps import PAYLOAD_BYTES, SMOKE, payload_sweep
 
 
 def bench_fig6_payloads(benchmark):
@@ -34,6 +34,8 @@ def bench_fig6_payloads(benchmark):
     ))
 
     # -- shape assertions -----------------------------------------------------
+    if SMOKE:  # short runs prove the sweep executes; the numbers aren't settled
+        return
     # ZugChain latency grows moderately with payload (paper: +37 % over the
     # sweep), never explodes.
     growth = zugchain[-1].mean_latency_s / zugchain[0].mean_latency_s

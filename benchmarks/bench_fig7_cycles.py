@@ -7,7 +7,7 @@ memory (up to 6.3x at the overloaded 32 ms cycle, where its queues grow).
 
 from repro.analysis import format_table, ratio
 
-from benchmarks._sweeps import cycle_sweep
+from benchmarks._sweeps import SMOKE, cycle_sweep
 
 
 def bench_fig7_cycles(benchmark):
@@ -34,6 +34,8 @@ def bench_fig7_cycles(benchmark):
     ))
 
     # -- shape assertions -------------------------------------------------------
+    if SMOKE:  # short runs prove the sweep executes; the numbers aren't settled
+        return
     for zc, base in zip(zugchain, baseline):
         # ZugChain within the 15 % shared-device budget at every cycle.
         assert zc.cpu_utilization < 0.15

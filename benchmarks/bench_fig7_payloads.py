@@ -6,7 +6,7 @@ and the baseline's memory 1.6-1.7x ZugChain's.
 
 from repro.analysis import format_table, ratio
 
-from benchmarks._sweeps import payload_sweep
+from benchmarks._sweeps import SMOKE, payload_sweep
 
 
 def bench_fig7_payloads(benchmark):
@@ -33,6 +33,8 @@ def bench_fig7_payloads(benchmark):
     ))
 
     # -- shape assertions -------------------------------------------------------
+    if SMOKE:  # short runs prove the sweep executes; the numbers aren't settled
+        return
     for zc, base in zip(zugchain, baseline):
         assert zc.cpu_utilization < 0.15
         assert ratio(zc.cpu_utilization, base.cpu_utilization) < 0.45

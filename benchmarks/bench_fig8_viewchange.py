@@ -12,8 +12,12 @@ from repro.analysis import format_table
 from repro.faults import ByzantineSpec
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
-CRASH_AT_S = 15.0
-RUN_S = 35.0
+from benchmarks._sweeps import SMOKE
+
+# Smoke mode still leaves ~3 s of steady state before the crash and ~8 s
+# after — enough for one complete view change plus recovery.
+CRASH_AT_S = 6.0 if SMOKE else 15.0
+RUN_S = 14.0 if SMOKE else 35.0
 
 
 def _viewchange_timeline(system: str) -> dict:
@@ -79,6 +83,8 @@ def bench_fig8_viewchange(benchmark):
                        title="Fig. 8: latency around a primary failure at t=0"))
 
     # -- shape assertions --------------------------------------------------------
+    if SMOKE:  # short runs prove the timeline executes; the numbers aren't settled
+        return
     # Both systems detect the fault and complete exactly one view change.
     assert zc["view_changes"] >= 1 and base["view_changes"] >= 1
     # Total detection + view change is in the ~500-900 ms band set by the

@@ -10,6 +10,8 @@ from repro.jru import check_requirements
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 from repro.sim.resources import CostModel
 
+from benchmarks._sweeps import DURATION_S, SMOKE, WARMUP_S
+
 
 def bench_jru_requirements(benchmark):
     def run():
@@ -18,7 +20,7 @@ def bench_jru_requirements(benchmark):
             cycle_time_s=0.064,
             payload_bytes=8192,   # worst-case payload for the persist path
         ))
-        return cluster.run(duration_s=24.0, warmup_s=3.0)
+        return cluster.run(duration_s=DURATION_S, warmup_s=WARMUP_S)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     report = check_requirements(result, persist_payload_bytes=8192)
@@ -35,6 +37,8 @@ def bench_jru_requirements(benchmark):
           f"(paper 15.6/s)")
 
     # -- shape assertions --------------------------------------------------------
+    if SMOKE:  # short runs prove the check executes; the numbers aren't settled
+        return
     assert report.all_passed, "\n".join(report.lines())
     assert result.mean_latency_s < 0.030
     assert result.mean_latency_s + persist < 0.5

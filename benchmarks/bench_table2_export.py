@@ -11,7 +11,11 @@ continuous export or export during stops is feasible.
 from repro.analysis import format_table
 from repro.export.scenario import ExportScenario, ExportScenarioConfig
 
-BLOCK_COUNTS = (500, 1_000, 2_000, 4_000, 8_000, 16_000)
+from benchmarks._sweeps import SMOKE
+
+# Smoke keeps the representative 2 000-block point so the benchmark's
+# timed round stays in the sweep.
+BLOCK_COUNTS = (500, 1_000, 2_000) if SMOKE else (500, 1_000, 2_000, 4_000, 8_000, 16_000)
 
 
 def _export_point(n_blocks: int):
@@ -53,10 +57,14 @@ def bench_table2_export(benchmark):
         r = results[count]
         assert r.complete
         assert r.blocks_exported == count
+        if SMOKE:
+            continue
         # Reply waiting dominates (paper: 80-96 %).
         assert r.read_s / r.total_s > 0.6
         # Verification is a tiny fraction (paper: 0.2-0.3 %).
         assert r.verify_s / r.total_s < 0.05
+    if SMOKE:  # completeness above is checked; timing shape needs the full sweep
+        return
     # Latency grows with the number of blocks (bandwidth-bound).
     totals = [results[c].total_s for c in BLOCK_COUNTS]
     assert totals == sorted(totals)

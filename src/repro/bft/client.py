@@ -41,7 +41,7 @@ class ClientRequestWrapper:
         return cls(request=SignedRequest.decode(data))
 
     def encoded_size(self) -> int:
-        return self.request.encoded_size() + 1
+        return len(self.encode())
 
 
 @dataclass(frozen=True)

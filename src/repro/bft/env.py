@@ -3,24 +3,26 @@
 Every protocol component (PBFT replica, ZugChain layer, export handler,
 data center) performs all side effects through an :class:`Env`:
 
-* sending and broadcasting messages,
+* sending and broadcasting messages (``send``, ``send_many``, ``broadcast``),
 * arming and cancelling timers,
 * reading the clock.
 
-The simulation runtime (:mod:`repro.runtime`) implements the interface on
-the discrete-event kernel with CPU and network cost accounting; unit tests
-use :class:`RecordingEnv` to drive state machines directly and assert on
-their outputs.
+The shared semantics — canonical sorted recipient ordering, broadcast
+self-exclusion, fire-once timers, send/drop/timer counters — live in
+:class:`repro.runtime.base.BaseEnv`; each runtime (the discrete-event
+simulator's :class:`~repro.runtime.env.SimEnv`, the TCP
+:class:`~repro.runtime.asyncio_runtime.AsyncioEnv`, and the
+:class:`RecordingEnv` test double below) only adapts the transport.
+``tests/runtime/test_env_conformance.py`` holds them to one behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Protocol
+from typing import Any, Callable, Iterable, Protocol
 
 
 class TimerHandle(Protocol):
-    """Cancellable timer."""
+    """Cancellable fire-once timer."""
 
     def cancel(self) -> None: ...
 
@@ -38,42 +40,43 @@ class Env(Protocol):
 
     def send(self, dst: str, message: Any) -> None: ...
 
+    def send_many(self, dsts: Iterable[str], message: Any) -> None: ...
+
     def broadcast(self, message: Any) -> None: ...
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle: ...
 
 
-class _RecordedTimer:
-    """Timer handle used by :class:`RecordingEnv`; fired manually by tests."""
-
-    def __init__(self, env: "RecordingEnv", delay: float, callback: Callable[[], None]) -> None:
-        self._env = env
-        self.deadline = env.now() + delay
-        self.callback = callback
-        self._active = True
-
-    @property
-    def active(self) -> bool:
-        return self._active
-
-    def cancel(self) -> None:
-        self._active = False
-
-    def fire(self) -> None:
-        if self._active:
-            self._active = False
-            self.callback()
+# RecordingEnv subclasses the runtime-layer BaseEnv.  The import sits below
+# the Env protocol on purpose: repro.runtime's cost model imports message
+# classes whose modules import Env from here, so by the time that import
+# cycle swings back around, Env must already be defined.
+from repro.runtime.base import BaseEnv, EnvTimer  # noqa: E402
 
 
-@dataclass
-class RecordingEnv:
-    """Test double: records sends/broadcasts, exposes timers for manual firing."""
+class RecordingEnv(BaseEnv):
+    """Test double: records sends/broadcasts, exposes timers for manual firing.
 
-    node_id: str = "node-0"
-    _now: float = 0.0
-    sent: list[tuple[str, Any]] = field(default_factory=list)
-    broadcasts: list[Any] = field(default_factory=list)
-    timers: list[_RecordedTimer] = field(default_factory=list)
+    By default the env knows no peers, so ``broadcast`` records the message
+    in :attr:`broadcasts` without fanning out copies (the BFT harness does
+    its own fan-out).  Pass ``peers`` to exercise the canonical per-recipient
+    emission path: each copy then also lands in :attr:`sent`, and node ids
+    added to :attr:`unreachable` are dropped and counted instead.
+    """
+
+    def __init__(
+        self,
+        node_id: str = "node-0",
+        peers: Iterable[str] = (),
+        now: float = 0.0,
+    ) -> None:
+        super().__init__(node_id)
+        self._now = now
+        self.peers: tuple[str, ...] = tuple(peers)
+        self.unreachable: set[str] = set()
+        self.sent: list[tuple[str, Any]] = []
+        self.broadcasts: list[Any] = []
+        self.timers: list[EnvTimer] = []
 
     def now(self) -> float:
         return self._now
@@ -81,20 +84,29 @@ class RecordingEnv:
     def advance(self, dt: float) -> None:
         self._now += dt
 
-    def send(self, dst: str, message: Any) -> None:
-        self.sent.append((dst, message))
-
     def broadcast(self, message: Any) -> None:
         self.broadcasts.append(message)
+        super().broadcast(message)
 
-    def set_timer(self, delay: float, callback: Callable[[], None]) -> _RecordedTimer:
-        timer = _RecordedTimer(self, delay, callback)
+    # -- transport hooks -----------------------------------------------------
+
+    def _peer_ids(self) -> Iterable[str]:
+        return self.peers
+
+    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
+        for dst in dsts:
+            if dst in self.unreachable:
+                self._note_drop()
+            else:
+                self.sent.append((dst, message))
+
+    def _transport_schedule(self, delay: float, timer: EnvTimer) -> None:
         self.timers.append(timer)
-        return timer
+        return None
 
     # -- test helpers -----------------------------------------------------------
 
-    def active_timers(self) -> list[_RecordedTimer]:
+    def active_timers(self) -> list[EnvTimer]:
         return [timer for timer in self.timers if timer.active]
 
     def fire_next_timer(self) -> None:

@@ -239,6 +239,9 @@ class PreparedProof:
         reader.expect_end()
         return cls(view=view, seq=seq, digest=digest, request=request)
 
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
 
 @dataclass(frozen=True)
 class ViewChange:

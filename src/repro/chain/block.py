@@ -71,6 +71,9 @@ class BlockHeader:
         reader.expect_end()
         return header
 
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
 
 @dataclass(frozen=True)
 class Block:

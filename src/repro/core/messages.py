@@ -28,7 +28,7 @@ class ZugBroadcast:
         return cls(request=SignedRequest.decode(data))
 
     def encoded_size(self) -> int:
-        return self.request.encoded_size() + 1
+        return len(self.encode())
 
 
 @dataclass(frozen=True)

@@ -133,8 +133,7 @@ class DataCenter:
         request = ReadRequest(
             dc_id=self.config.dc_id, last_sn=self.last_exported_sn, full_from=chosen
         ).signed(self.keypair)
-        for replica_id in self.config.replica_ids:
-            self.env.send(replica_id, request)
+        self.env.send_many(self.config.replica_ids, request)
         return self._round
 
     # -- dispatch ----------------------------------------------------------------------
@@ -260,8 +259,7 @@ class DataCenter:
             sync = DcSync(
                 dc_id=self.config.dc_id, checkpoint=checkpoint, blocks=tuple(blocks)
             ).signed(self.keypair)
-            for peer in self.config.peer_dc_ids:
-                self.env.send(peer, sync)
+            self.env.send_many(self.config.peer_dc_ids, sync)
 
         # Step ⑤: sign and broadcast the delete.
         delete = DeleteRequest(
@@ -270,8 +268,7 @@ class DataCenter:
             block_height=checkpoint.block_height,
             block_hash=checkpoint.block_hash,
         ).signed(self.keypair)
-        for replica_id in self.config.replica_ids:
-            self.env.send(replica_id, delete)
+        self.env.send_many(self.config.replica_ids, delete)
         self.last_exported_sn = checkpoint.seq
 
     # -- step ③ receive side: peer sync -----------------------------------------------------------
@@ -296,8 +293,7 @@ class DataCenter:
                 block_height=sync.checkpoint.block_height,
                 block_hash=sync.checkpoint.block_hash,
             ).signed(self.keypair)
-            for replica_id in self.config.replica_ids:
-                self.env.send(replica_id, delete)
+            self.env.send_many(self.config.replica_ids, delete)
 
     # -- step ⑦: acks ------------------------------------------------------------------------------
 

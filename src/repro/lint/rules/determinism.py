@@ -300,6 +300,92 @@ def _mentions_deadline(node: ast.AST) -> bool:
     return False
 
 
+def _imports_asyncio_sleep(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "asyncio":
+            if any(alias.name == "sleep" for alias in node.names):
+                return True
+    return False
+
+
+@register_rule
+class EventLoopClockRule(Rule):
+    code = "DET006"
+    name = "event-loop-clock"
+    description = (
+        "event-loop time reads (loop.time(), asyncio.sleep with a literal "
+        "delay) in protocol code outside the runtime adapters, and the "
+        "deprecated ambient asyncio.get_event_loop() anywhere in repro.*; "
+        "protocol code must take time from env.now() and delays from "
+        "env.set_timer()"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        in_runtime = ctx.module.startswith(_WALL_CLOCK_EXEMPT_PREFIX)
+        sleep_imported = _imports_asyncio_sleep(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = call_name(node)
+            # The deprecated ambient loop lookup is flagged even inside the
+            # runtime adapters: the sanctioned APIs are get_running_loop()
+            # or an explicitly passed loop.
+            if callee in ("asyncio.get_event_loop", "get_event_loop"):
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        "asyncio.get_event_loop() is deprecated and binds an "
+                        "ambient loop; use asyncio.get_running_loop() or "
+                        "accept an explicit loop"
+                    ),
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+                continue
+            if in_runtime:
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "time":
+                receiver = terminal_name(func.value)
+                if receiver is not None and "loop" in receiver.lower():
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"{receiver}.time() reads the event-loop clock in "
+                            "protocol code; take time from env.now()"
+                        ),
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                    continue
+            is_sleep = callee == "asyncio.sleep" or (
+                callee == "sleep" and sleep_imported
+            )
+            if is_sleep and node.args:
+                delay = node.args[0]
+                if (
+                    isinstance(delay, ast.Constant)
+                    and isinstance(delay.value, (int, float))
+                    and not isinstance(delay.value, bool)
+                    and delay.value > 0
+                ):
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"asyncio.sleep({delay.value}) hard-codes a wall-clock "
+                            "delay in protocol code; arm env.set_timer() so the "
+                            "simulator and transports share one timebase"
+                        ),
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+
+
 @register_rule
 class FloatDeadlineEqualityRule(Rule):
     code = "DET005"

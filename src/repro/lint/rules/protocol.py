@@ -195,6 +195,64 @@ class SwallowedExceptionRule(Rule):
                 )
 
 
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) and item.name == name:
+            return item
+    return None
+
+
+def _has_literal_arithmetic(node: ast.AST) -> bool:
+    """Any binary arithmetic with an integer-literal operand under ``node``."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.BinOp):
+            continue
+        for operand in (sub.left, sub.right):
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, int)
+                and not isinstance(operand.value, bool)
+            ):
+                return True
+    return False
+
+
+@register_rule
+class EncodedSizeDriftRule(Rule):
+    code = "PROTO005"
+    name = "encoded-size-drift"
+    description = (
+        "encoded_size() computed with hand-maintained integer arithmetic "
+        "instead of being derived from the codec; such bodies cannot be "
+        "statically shown to agree with len(encode()), and a drift skews "
+        "every wire_size()-based cost in the simulation"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _method(node, "encode") is None:
+                continue
+            sizer = _method(node, "encoded_size")
+            if sizer is None:
+                continue
+            if _has_literal_arithmetic(sizer):
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"{node.name}.encoded_size() uses literal arithmetic that "
+                        "can silently disagree with len(encode()); return "
+                        "len(self.encode()) (or a value derived from the codec)"
+                    ),
+                    path=ctx.path,
+                    line=sizer.lineno,
+                    col=sizer.col_offset,
+                )
+
+
 @register_rule
 class MutableDefaultRule(Rule):
     code = "PROTO004"

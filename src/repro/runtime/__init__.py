@@ -1,10 +1,19 @@
-"""Simulation runtime: binds sans-IO protocol nodes to the DES substrate."""
+"""Simulation runtime: binds sans-IO protocol nodes to the DES substrate.
 
-from repro.runtime.costs import ETHERNET_OVERHEAD_BYTES, recv_cost, send_cost, wire_size
-from repro.runtime.env import SimEnv
-from repro.runtime.host import NodeHost
+Only :mod:`repro.runtime.base` is imported eagerly: the cost model and the
+adapters depend on the message modules, which depend on the Env interface
+(:mod:`repro.bft.env`), which subclasses :class:`BaseEnv` from here.
+Resolving the heavyweight names lazily (PEP 562) keeps that cycle open —
+``repro.bft.env`` can import the base layer without pulling the cost model
+in on top of a half-initialised message module.
+"""
+
+from repro.runtime.base import BaseEnv, EnvCounters, EnvTimer
 
 __all__ = [
+    "BaseEnv",
+    "EnvCounters",
+    "EnvTimer",
     "SimEnv",
     "NodeHost",
     "send_cost",
@@ -12,3 +21,27 @@ __all__ = [
     "wire_size",
     "ETHERNET_OVERHEAD_BYTES",
 ]
+
+_LAZY = {
+    "SimEnv": "repro.runtime.env",
+    "NodeHost": "repro.runtime.host",
+    "send_cost": "repro.runtime.costs",
+    "recv_cost": "repro.runtime.costs",
+    "wire_size": "repro.runtime.costs",
+    "ETHERNET_OVERHEAD_BYTES": "repro.runtime.costs",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -7,6 +7,11 @@ to demonstrate that the sans-IO design is deployable: nodes listen on TCP
 sockets, messages travel length-prefixed with their registry tags
 (:mod:`repro.wire.tags`), and timers come from the event loop.
 
+Emission semantics (sorted recipients, broadcast self-exclusion, drop and
+timer counters) come from :class:`~repro.runtime.base.BaseEnv`, so a TCP
+broadcast fans out in exactly the order the simulator uses — not dict
+insertion order — and undeliverable copies are counted, never silent.
+
 Connections carry a one-line hello (``zc1 <node-id>\\n``) identifying the
 sender; message authenticity rests on the protocol-level signatures, as on
 the train Ethernet.
@@ -16,90 +21,94 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 import repro.wire.tags  # noqa: F401  (registers all message types)
+from repro.runtime.base import BaseEnv, EnvTimer
+from repro.util.errors import CodecError
 from repro.wire.registry import decode_message, encode_message
 
 _HELLO_PREFIX = b"zc1 "
 _MAX_FRAME = 64 * 1024 * 1024
 
 
-class _LoopTimer:
-    """Env timer backed by ``loop.call_later``."""
+class AsyncioEnv(BaseEnv):
+    """Env adapter over asyncio TCP connections.
 
-    def __init__(self, handle: asyncio.TimerHandle) -> None:
-        self._handle = handle
-        self._fired_or_cancelled = False
+    The event loop is resolved lazily with ``asyncio.get_running_loop()``
+    (or passed explicitly for tests), and ``now()`` reports seconds since
+    the env first read the clock — zero-based and monotonic, like the
+    simulator's virtual clock, so protocol timestamps are comparable
+    across runtimes.
+    """
 
-    def mark_fired(self) -> None:
-        self._fired_or_cancelled = True
-
-    @property
-    def active(self) -> bool:
-        return not self._fired_or_cancelled
-
-    def cancel(self) -> None:
-        self._fired_or_cancelled = True
-        self._handle.cancel()
-
-
-class AsyncioEnv:
-    """Env implementation over asyncio TCP connections."""
-
-    def __init__(self, node_id: str, peers: dict[str, tuple[str, int]]) -> None:
-        self._node_id = node_id
+    def __init__(
+        self,
+        node_id: str,
+        peers: dict[str, tuple[str, int]],
+        loop: asyncio.AbstractEventLoop | None = None,
+    ) -> None:
+        super().__init__(node_id)
         self._peers = dict(peers)
         self._writers: dict[str, asyncio.StreamWriter] = {}
-        self._loop = asyncio.get_event_loop()
-        self.send_errors = 0
+        self._loop = loop
+        self._epoch: float | None = None
+        #: Inbound frames whose body failed to decode (stream stays aligned).
+        self.decode_errors = 0
+        #: Inbound frames over the size cap (connection is dropped).
+        self.oversize_frames = 0
 
     @property
-    def node_id(self) -> str:
-        return self._node_id
+    def send_errors(self) -> int:
+        """Undeliverable outbound copies (legacy alias for counters.drops)."""
+        return self.counters.drops
+
+    def _running_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
 
     def now(self) -> float:
-        return self._loop.time()
+        loop = self._running_loop()
+        if self._epoch is None:
+            self._epoch = loop.time()
+        return loop.time() - self._epoch
 
-    def set_timer(self, delay: float, callback: Callable[[], None]) -> _LoopTimer:
-        timer_box: list[_LoopTimer] = []
+    # -- transport hooks -----------------------------------------------------
 
-        def _fire() -> None:
-            if timer_box and timer_box[0].active:
-                timer_box[0].mark_fired()
-                callback()
+    def _peer_ids(self) -> Iterable[str]:
+        return self._peers.keys()
 
-        handle = self._loop.call_later(delay, _fire)
-        timer = _LoopTimer(handle)
-        timer_box.append(timer)
-        return timer
+    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
+        if not dsts:
+            return
+        frame = encode_message(message)
+        wire = len(frame).to_bytes(4, "big") + frame
+        for dst in dsts:
+            writer = self._writers.get(dst)
+            if writer is None or writer.is_closing():
+                self._note_drop()
+                continue
+            writer.write(wire)
+
+    def _transport_schedule(self, delay: float, timer: EnvTimer) -> asyncio.TimerHandle:
+        return self._running_loop().call_later(delay, timer.fire)
+
+    def _transport_cancel(self, handle: asyncio.TimerHandle) -> None:
+        handle.cancel()
+
+    # -- connections ---------------------------------------------------------
 
     async def connect_all(self) -> None:
         """Open outgoing connections to every peer (call once all listen)."""
-        for peer_id, (host, port) in self._peers.items():
+        for peer_id in sorted(self._peers):
             if peer_id == self._node_id or peer_id in self._writers:
                 continue
+            host, port = self._peers[peer_id]
             reader, writer = await asyncio.open_connection(host, port)
             writer.write(_HELLO_PREFIX + self._node_id.encode() + b"\n")
             await writer.drain()
             self._writers[peer_id] = writer
-
-    def send(self, dst: str, message: Any) -> None:
-        writer = self._writers.get(dst)
-        if writer is None or writer.is_closing():
-            self.send_errors += 1
-            return
-        frame = encode_message(message)
-        writer.write(len(frame).to_bytes(4, "big") + frame)
-
-    def broadcast(self, message: Any) -> None:
-        frame = encode_message(message)
-        wire = len(frame).to_bytes(4, "big") + frame
-        for peer_id, writer in self._writers.items():
-            if writer.is_closing():
-                self.send_errors += 1
-                continue
-            writer.write(wire)
 
     async def close(self) -> None:
         for writer in self._writers.values():
@@ -130,6 +139,7 @@ class AsyncioCluster:
         self._base_port = base_port
         self.hosted: dict[str, _Hosted] = {}
         self.peers: dict[str, tuple[str, int]] = {}
+        self._handler_tasks: set[asyncio.Task] = set()
 
     async def start(self) -> None:
         # Bind servers first (ephemeral ports when base_port == 0) ...
@@ -139,7 +149,7 @@ class AsyncioCluster:
             env = AsyncioEnv(node_id, self.peers)  # peers filled in below
             node = self._factory(env)
             server = await asyncio.start_server(
-                self._connection_handler(node),
+                self._connection_handler(node, env),
                 self._host,
                 self._base_port + index if self._base_port else 0,
             )
@@ -152,8 +162,11 @@ class AsyncioCluster:
             env._peers.update(self.peers)
             await env.connect_all()
 
-    def _connection_handler(self, node):
+    def _connection_handler(self, node, env: AsyncioEnv):
         async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            task = asyncio.current_task()
+            if task is not None:
+                self._handler_tasks.add(task)
             try:
                 hello = await reader.readline()
                 if not hello.startswith(_HELLO_PREFIX):
@@ -164,13 +177,28 @@ class AsyncioCluster:
                     header = await reader.readexactly(4)
                     length = int.from_bytes(header, "big")
                     if length > _MAX_FRAME:
+                        # The frame cannot be skipped without reading it, so
+                        # the connection is unrecoverable: count and drop it.
+                        env.oversize_frames += 1
                         break
                     frame = await reader.readexactly(length)
-                    message, _ = decode_message(frame)
+                    try:
+                        message, _ = decode_message(frame)
+                    except CodecError:
+                        # The bad frame is fully consumed; later frames on
+                        # this stream are still well-delimited.
+                        env.decode_errors += 1
+                        continue
                     node.handle_message(src, message)
             except (asyncio.IncompleteReadError, ConnectionResetError):
                 pass
+            except asyncio.CancelledError:
+                # Cluster shutdown (stop() cancels handlers); exiting quietly
+                # keeps "Exception in callback" noise out of the loop's log.
+                pass
             finally:
+                if task is not None:
+                    self._handler_tasks.discard(task)
                 writer.close()
         return handle
 
@@ -185,3 +213,10 @@ class AsyncioCluster:
             await hosted.env.close()
             hosted.server.close()
             await hosted.server.wait_closed()
+        # Server-side handler tasks block in readexactly; reap them here so
+        # event-loop teardown never has to cancel lingering tasks.
+        tasks = list(self._handler_tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)

@@ -1,0 +1,201 @@
+"""Canonical Env core: one emission path shared by every runtime adapter.
+
+The sans-IO design promise (§IV: "only the Env implementation changes"
+between the deterministic simulator and a real transport) only holds if
+all Env implementations share one set of semantics.  :class:`BaseEnv`
+owns exactly that shared half:
+
+* **Emission** — ``send``/``send_many``/``broadcast`` all funnel into
+  ``_emit(dsts, message)``, which puts recipients into canonical sorted
+  order before the transport sees them.  Broadcast excludes the sender.
+  No per-call-site ``sorted()`` is needed (or trusted) anywhere else.
+* **Timers** — ``set_timer`` returns a uniform fire-once
+  :class:`EnvTimer` (``active`` goes false on fire *or* cancel, firing a
+  cancelled timer is a no-op, cancelling twice counts once), regardless
+  of how the transport actually schedules the callback.
+* **Accounting** — per-env :class:`EnvCounters` for sends, broadcasts,
+  emitted copies, transport drops, and timer lifecycle events, so tests
+  and operators read the same numbers on every runtime.
+
+Transports supply only the physical half via four hooks:
+
+=======================  ====================================================
+hook                     contract
+=======================  ====================================================
+``now()``                monotonic clock in seconds, starting near 0
+``_peer_ids()``          iterable of known node ids (may include self)
+``_transport_emit``      deliver one message to an already-sorted recipient
+                         tuple (charge CPU, frame bytes, append to a log);
+                         call ``_note_drop()`` per undeliverable copy
+``_transport_schedule``  arrange ``timer.fire`` after ``delay`` seconds and
+                         return a transport handle (or ``None``);
+                         ``_transport_cancel`` receives that handle back
+=======================  ====================================================
+
+``tests/runtime/test_env_conformance.py`` runs one shared battery over
+every adapter so these semantics cannot drift apart again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.util.errors import ProtocolError
+
+_PENDING = "pending"
+_FIRED = "fired"
+_CANCELLED = "cancelled"
+
+
+@dataclass
+class EnvCounters:
+    """Per-env emission and timer accounting, identical across runtimes.
+
+    ``sends`` counts recipient slots requested via ``send``/``send_many``
+    and ``broadcasts`` counts ``broadcast`` calls; ``messages_emitted``
+    counts the per-recipient copies actually handed to the transport, and
+    ``drops`` the copies the transport could not deliver (crashed peer,
+    missing connection, closing socket).
+    """
+
+    sends: int = 0
+    broadcasts: int = 0
+    messages_emitted: int = 0
+    drops: int = 0
+    timers_set: int = 0
+    timers_fired: int = 0
+    timers_cancelled: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "sends": self.sends,
+            "broadcasts": self.broadcasts,
+            "messages_emitted": self.messages_emitted,
+            "drops": self.drops,
+            "timers_set": self.timers_set,
+            "timers_fired": self.timers_fired,
+            "timers_cancelled": self.timers_cancelled,
+        }
+
+
+class EnvTimer:
+    """Uniform fire-once timer handle.
+
+    The discrete-event kernel's raw :class:`~repro.sim.kernel.Timer`
+    stays ``active`` after firing and asyncio's ``TimerHandle`` has no
+    liveness query at all; this wrapper gives protocol code one
+    semantics everywhere: ``active`` is true exactly while the callback
+    is still pending, and exactly one of fire/cancel ever takes effect.
+    """
+
+    __slots__ = ("deadline", "_callback", "_env", "_state", "_transport_handle")
+
+    def __init__(self, env: "BaseEnv", deadline: float, callback: Callable[[], None]) -> None:
+        self.deadline = deadline
+        self._callback = callback
+        self._env = env
+        self._state = _PENDING
+        self._transport_handle: Any = None
+
+    @property
+    def active(self) -> bool:
+        return self._state == _PENDING
+
+    def cancel(self) -> None:
+        if self._state != _PENDING:
+            return
+        self._state = _CANCELLED
+        self._env.counters.timers_cancelled += 1
+        self._env._transport_cancel(self._transport_handle)
+
+    def fire(self) -> None:
+        """Run the callback if still pending (transports call this)."""
+        if self._state != _PENDING:
+            return
+        self._state = _FIRED
+        self._env.counters.timers_fired += 1
+        self._callback()
+
+
+class BaseEnv:
+    """Shared Env semantics; subclasses are thin transport adapters."""
+
+    def __init__(self, node_id: str) -> None:
+        self._node_id = node_id
+        self.counters = EnvCounters()
+
+    @property
+    def node_id(self) -> str:
+        return self._node_id
+
+    # -- emission (canonical path) ------------------------------------------
+
+    def send(self, dst: str, message: Any) -> None:
+        """Send ``message`` to one recipient."""
+        self.counters.sends += 1
+        self._emit((dst,), message)
+
+    def send_many(self, dsts: Iterable[str], message: Any) -> None:
+        """Send one message to several recipients in canonical order.
+
+        The transport sees a single emission (one signing charge, one
+        frame encoding) fanned out to ``sorted(dsts)`` — use this for
+        recipient loops like the data center's read/delete rounds so the
+        ordering and accounting live here, not at the call site.
+        """
+        targets = tuple(dsts)
+        self.counters.sends += len(targets)
+        self._emit(targets, message)
+
+    def broadcast(self, message: Any) -> None:
+        """Send ``message`` to every known peer except this node."""
+        self.counters.broadcasts += 1
+        self._emit(self.broadcast_targets(), message)
+
+    def broadcast_targets(self) -> tuple[str, ...]:
+        """Canonical broadcast recipients: sorted peers, self excluded."""
+        return tuple(
+            peer for peer in sorted(self._peer_ids()) if peer != self._node_id
+        )
+
+    def _emit(self, dsts: Iterable[str], message: Any) -> None:
+        """The single funnel every outbound message passes through."""
+        canonical = tuple(sorted(dsts))
+        self.counters.messages_emitted += len(canonical)
+        self._transport_emit(canonical, message)
+
+    # -- timers --------------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> EnvTimer:
+        """Arm ``callback`` to run after ``delay`` seconds; returns a handle."""
+        if delay < 0:
+            raise ProtocolError(f"cannot arm a timer into the past (delay={delay})")
+        timer = EnvTimer(self, self.now() + delay, callback)
+        self.counters.timers_set += 1
+        timer._transport_handle = self._transport_schedule(delay, timer)
+        return timer
+
+    def _note_drop(self) -> None:
+        """Transports report each undeliverable copy here."""
+        self.counters.drops += 1
+
+    # -- transport adapter hooks ---------------------------------------------
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def _peer_ids(self) -> Iterable[str]:
+        """Known node ids (self may be included; broadcast filters it)."""
+        raise NotImplementedError
+
+    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
+        """Deliver ``message`` to each of the already-sorted ``dsts``."""
+        raise NotImplementedError
+
+    def _transport_schedule(self, delay: float, timer: EnvTimer) -> Any:
+        """Arrange for ``timer.fire`` to run after ``delay`` seconds."""
+        raise NotImplementedError
+
+    def _transport_cancel(self, handle: Any) -> None:
+        """Undo ``_transport_schedule``; default assumes fire() guards."""

@@ -6,20 +6,28 @@ signing and serialization take CPU time, and a node that emits faster than
 its pipeline drains builds a backlog.  This is the mechanism by which the
 overloaded baseline's latency explodes at 32 ms bus cycles (Fig. 6) without
 any scripted slowdown.
+
+All emission semantics (canonical recipient ordering, self-exclusion,
+counters, fire-once timers) live in :class:`~repro.runtime.base.BaseEnv`;
+this adapter only supplies the physical half: charge the CPU pipeline one
+``send_cost`` per emission (signing once, serializing once per copy — the
+same accounting whether the emission is a unicast, a ``send_many`` fan-out,
+or a broadcast), then put each copy on the simulated wire in order.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Iterable
 
+from repro.runtime.base import BaseEnv, EnvTimer
 from repro.runtime.costs import send_cost, wire_size
 from repro.sim.kernel import Kernel, Timer
 from repro.sim.network import Network
 from repro.sim.resources import CostModel, CpuAccount
 
 
-class SimEnv:
-    """Env implementation for one simulated node."""
+class SimEnv(BaseEnv):
+    """Env adapter for one simulated node."""
 
     def __init__(
         self,
@@ -29,15 +37,11 @@ class SimEnv:
         cpu: CpuAccount,
         model: CostModel,
     ) -> None:
-        self._node_id = node_id
+        super().__init__(node_id)
         self._kernel = kernel
         self._network = network
         self._cpu = cpu
         self._model = model
-
-    @property
-    def node_id(self) -> str:
-        return self._node_id
 
     @property
     def cpu(self) -> CpuAccount:
@@ -46,20 +50,24 @@ class SimEnv:
     def now(self) -> float:
         return self._kernel.now
 
-    def send(self, dst: str, message: Any) -> None:
-        size = wire_size(message)
-        cost = send_cost(message, self._model, copies=1)
-        self._cpu.submit(
-            cost, lambda: self._network.send(self._node_id, dst, message, size)
-        )
+    # -- transport hooks -----------------------------------------------------
 
-    def broadcast(self, message: Any) -> None:
-        size = wire_size(message)
-        copies = max(1, len(self._network.endpoints()) - 1)
-        cost = send_cost(message, self._model, copies=copies)
-        self._cpu.submit(
-            cost, lambda: self._network.broadcast(self._node_id, message, size)
-        )
+    def _peer_ids(self) -> Iterable[str]:
+        return self._network.endpoints()
 
-    def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
-        return self._kernel.schedule(delay, callback)
+    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
+        size = wire_size(message)
+        cost = send_cost(message, self._model, copies=max(1, len(dsts)))
+
+        def _put_on_wire() -> None:
+            for dst in dsts:
+                if not self._network.send(self._node_id, dst, message, size):
+                    self._note_drop()
+
+        self._cpu.submit(cost, _put_on_wire)
+
+    def _transport_schedule(self, delay: float, timer: EnvTimer) -> Timer:
+        return self._kernel.schedule(delay, timer.fire)
+
+    def _transport_cancel(self, handle: Timer) -> None:
+        handle.cancel()

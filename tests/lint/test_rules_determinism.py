@@ -183,3 +183,94 @@ def test_det005_clean_for_ordering_comparisons():
         """,
         select=["DET005"],
     )
+
+
+# --- DET006: event-loop clock in protocol code ---------------------------
+
+def test_det006_flags_loop_time_in_protocol_code():
+    findings = run(
+        """
+        def stamp(loop, event_loop):
+            a = loop.time()
+            b = event_loop.time()
+            return a, b
+        """,
+        path="src/repro/core/layer.py",
+        select=["DET006"],
+    )
+    assert codes(findings) == ["DET006"] * 2
+
+
+def test_det006_flags_literal_asyncio_sleep_delays():
+    findings = run(
+        """
+        import asyncio
+        from asyncio import sleep
+
+        async def settle():
+            await asyncio.sleep(0.05)
+            await sleep(2)
+        """,
+        path="src/repro/core/node.py",
+        select=["DET006"],
+    )
+    assert codes(findings) == ["DET006"] * 2
+
+
+def test_det006_flags_deprecated_get_event_loop_even_in_runtime():
+    findings = run(
+        """
+        import asyncio
+
+        def bind():
+            return asyncio.get_event_loop()
+        """,
+        path="src/repro/runtime/asyncio_runtime.py",
+        select=["DET006"],
+    )
+    assert codes(findings) == ["DET006"]
+
+
+def test_det006_clean_for_runtime_adapters_and_variable_delays():
+    # The runtime adapters are the sanctioned bridge to real time.
+    assert not run(
+        """
+        import asyncio
+
+        async def drive(loop, interval_s):
+            loop.time()
+            await asyncio.sleep(interval_s)
+            await asyncio.sleep(0)
+            asyncio.get_running_loop()
+        """,
+        path="src/repro/runtime/asyncio_runtime.py",
+        select=["DET006"],
+    )
+    # Variable delays and non-loop receivers are fine in protocol code too.
+    assert not run(
+        """
+        import asyncio
+
+        async def drive(env, kernel, interval_s):
+            env.now()
+            kernel.time()
+            await asyncio.sleep(interval_s)
+        """,
+        path="src/repro/core/layer.py",
+        select=["DET006"],
+    )
+
+
+def test_det006_ignores_code_outside_repro():
+    assert not run(
+        """
+        import asyncio
+
+        async def wait(loop):
+            loop.time()
+            await asyncio.sleep(0.1)
+            asyncio.get_event_loop()
+        """,
+        path="tools/example.py",
+        select=["DET006"],
+    )

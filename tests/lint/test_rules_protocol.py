@@ -199,3 +199,58 @@ def test_proto004_clean_for_immutable_defaults():
         },
         select=["PROTO004"],
     )
+
+
+# --- PROTO005: encoded_size drift ----------------------------------------
+
+def test_proto005_flags_literal_arithmetic_in_encoded_size():
+    findings = run(
+        {
+            "src/repro/core/messages.py": """
+            class Wrapper:
+                def encode(self):
+                    return self.request.encode()
+
+                def decode(self):
+                    return self
+
+                def encoded_size(self):
+                    return self.request.encoded_size() + 1
+            """
+        },
+        select=["PROTO005"],
+    )
+    assert codes(findings) == ["PROTO005"]
+
+
+def test_proto005_clean_when_derived_from_the_codec():
+    assert not run(
+        {
+            "src/repro/core/messages.py": """
+            class Wrapper:
+                def encode(self):
+                    return self.request.encode()
+
+                def decode(self):
+                    return self
+
+                def encoded_size(self):
+                    return len(self.encode())
+            """
+        },
+        select=["PROTO005"],
+    )
+
+
+def test_proto005_ignores_classes_without_a_codec():
+    # Hand arithmetic is fine when there is no encode() to drift from.
+    assert not run(
+        {
+            "src/repro/sim/resources.py": """
+            class Budget:
+                def encoded_size(self):
+                    return self.base + 1
+            """
+        },
+        select=["PROTO005"],
+    )

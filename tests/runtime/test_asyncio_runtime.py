@@ -53,8 +53,9 @@ async def _drive(cluster, cycles, interval_s=0.02):
 
 
 async def _wait_until(predicate, timeout_s=10.0):
-    deadline = asyncio.get_event_loop().time() + timeout_s
-    while asyncio.get_event_loop().time() < deadline:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while loop.time() < deadline:
         if predicate():
             return True
         await asyncio.sleep(0.05)
@@ -83,6 +84,47 @@ def test_tcp_cluster_orders_and_chains():
             assert len(heads) == 1
             for node in cluster.nodes().values():
                 node.chain.verify()
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_tcp_bad_frames_are_counted_not_fatal():
+    """A garbage frame bumps decode_errors; the stream keeps working."""
+    async def scenario():
+        cluster = AsyncioCluster(make_node, n=4)
+        await cluster.start()
+        try:
+            # Inject a framed-but-undecodable payload from node-1 to node-0
+            # on the already-authenticated connection, then real traffic.
+            env1 = cluster.hosted["node-1"].env
+            junk = b"\xff\xfe\xfd\xfc"
+            env1._writers["node-0"].write(len(junk).to_bytes(4, "big") + junk)
+            cycles = 5
+            await _drive(cluster, cycles)
+            done = await _wait_until(
+                lambda: all(n.requests_logged >= cycles for n in cluster.nodes().values())
+            )
+            assert done, "cluster stalled after an undecodable frame"
+            env0 = cluster.hosted["node-0"].env
+            assert env0.decode_errors == 1
+            assert env0.oversize_frames == 0
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_tcp_broadcast_fans_out_in_sorted_order():
+    async def scenario():
+        cluster = AsyncioCluster(make_node, n=4)
+        await cluster.start()
+        try:
+            for hosted in cluster.hosted.values():
+                others = sorted(set(IDS) - {hosted.env.node_id})
+                assert hosted.env.broadcast_targets() == tuple(others)
+                assert sorted(hosted.env._writers) == others
         finally:
             await cluster.stop()
 
