@@ -10,6 +10,7 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 
+from repro.obs import RecordingTracer
 from repro.scenarios import ScenarioConfig, ScenarioResult, SimulatedCluster
 
 #: The paper's sweep axes (§V-B).
@@ -24,6 +25,13 @@ DEFAULT_PAYLOAD = 1024
 #: benchmarks skip their quantitative shape assertions and only prove the
 #: sweeps still run end to end.
 SMOKE = os.environ.get("ZUGCHAIN_BENCH_SMOKE", "") not in ("", "0")
+
+#: Traced mode (``ZUGCHAIN_BENCH_TRACE=1``): every sweep point runs with a
+#: :class:`~repro.obs.trace.RecordingTracer` attached, so the figure
+#: benchmarks double as an overhead regression check — tracing must not
+#: change any reported number (the determinism suite asserts equality;
+#: here the shape assertions simply keep holding).
+TRACE = os.environ.get("ZUGCHAIN_BENCH_TRACE", "") not in ("", "0")
 
 #: Simulated duration per point.  The paper runs 5 minutes; 24 s preserves
 #: every qualitative result (steady state is reached within seconds) while
@@ -41,12 +49,15 @@ def sweep_point(
     seed: int = 42,
 ) -> ScenarioResult:
     """Run (memoized) one measurement point."""
-    cluster = SimulatedCluster(ScenarioConfig(
-        system=system,
-        cycle_time_s=cycle_time_s,
-        payload_bytes=payload_bytes,
-        seed=seed,
-    ))
+    cluster = SimulatedCluster(
+        ScenarioConfig(
+            system=system,
+            cycle_time_s=cycle_time_s,
+            payload_bytes=payload_bytes,
+            seed=seed,
+        ),
+        tracer=RecordingTracer() if TRACE else None,
+    )
     return cluster.run(duration_s=duration_s, warmup_s=WARMUP_S)
 
 

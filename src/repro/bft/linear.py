@@ -40,6 +40,7 @@ from repro.bft.messages import (
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import SIGNATURE_SIZE, KeyPair, KeyStore
 from repro.bft.replica import ReplicaStats
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.wire.codec import Reader, Writer
 from repro.wire.messages import SignedRequest
 
@@ -156,6 +157,7 @@ class LinearBftReplica:
         on_decide: Callable[[SignedRequest, int], None],
         on_new_primary: Callable[[str], None] | None = None,
         on_stable_checkpoint: Callable[[CheckpointCertificate], None] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -164,6 +166,7 @@ class LinearBftReplica:
         self._on_decide = on_decide
         self._on_new_primary = on_new_primary or (lambda pid: None)
         self._on_stable_checkpoint = on_stable_checkpoint or (lambda cert: None)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.id = env.node_id
         self.view = 0
@@ -249,6 +252,11 @@ class LinearBftReplica:
         instance = self._instance(seq)
         instance.preprepare = preprepare
         self._log_bytes += preprepare.encoded_size()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "bft.preprepare", self.env.now(), self.id,
+                view=self.view, seq=seq, digest=preprepare.digest.hex(),
+            )
         # The primary's own vote.
         vote = Vote(view=self.view, seq=seq, digest=preprepare.digest,
                     replica_id=self.id).signed(self.keypair)
@@ -302,6 +310,12 @@ class LinearBftReplica:
             return
         instance.preprepare = preprepare
         self._log_bytes += preprepare.encoded_size()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "bft.preprepare", self.env.now(), self.id,
+                view=preprepare.view, seq=preprepare.seq,
+                digest=preprepare.digest.hex(),
+            )
         vote = Vote(view=self.view, seq=preprepare.seq, digest=preprepare.digest,
                     replica_id=self.id).signed(self.keypair)
         self.env.send(self.primary_id, vote)
@@ -348,6 +362,11 @@ class LinearBftReplica:
     def _apply_cert(self, cert: CommitCert, instance: _LinearInstance) -> None:
         instance.certified = True
         self._log_bytes += cert.encoded_size()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "bft.commit", self.env.now(), self.id,
+                view=cert.view, seq=cert.seq, digest=cert.digest.hex(),
+            )
         self._pending_exec[cert.seq] = instance.preprepare.request
         self._execute_ready()
 
@@ -384,6 +403,11 @@ class LinearBftReplica:
         if certificate is None:
             return
         self.stats.checkpoints_stable += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "ckpt.stable", self.env.now(), self.id,
+                seq=certificate.seq, block_height=certificate.block_height,
+            )
         if self.in_view_change and certificate.seq > self.last_stable_seq:
             # 2f+1 replicas signed state beyond our suspicion point: the
             # group is live in the current view — abandon the view change
@@ -429,6 +453,9 @@ class LinearBftReplica:
                if view >= new_view):
             return
         self.in_view_change = True
+        if self.tracer.enabled:
+            self.tracer.emit("bft.viewchange.start", self.env.now(), self.id,
+                             new_view=new_view)
         stable = self._checkpoints.latest_stable()
         view_change = ViewChange(
             new_view=new_view,
@@ -506,6 +533,9 @@ class LinearBftReplica:
     def _enter_view(self, new_view: int, preprepares: tuple[PrePrepare, ...]) -> None:
         self.view = new_view
         self.in_view_change = False
+        if self.tracer.enabled:
+            self.tracer.emit("bft.viewchange.end", self.env.now(), self.id,
+                             view=new_view)
         if self._vc_timer is not None:
             self._vc_timer.cancel()
             self._vc_timer = None

@@ -38,6 +38,7 @@ from repro.bft.messages import (
     ViewChange,
 )
 from repro.crypto.keys import KeyPair, KeyStore
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.wire.messages import SignedRequest
 
 
@@ -81,6 +82,7 @@ class PbftReplica:
         on_decide: Callable[[SignedRequest, int], None],
         on_new_primary: Callable[[str], None] | None = None,
         on_stable_checkpoint: Callable[[CheckpointCertificate], None] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -89,6 +91,7 @@ class PbftReplica:
         self._on_decide = on_decide
         self._on_new_primary = on_new_primary or (lambda pid: None)
         self._on_stable_checkpoint = on_stable_checkpoint or (lambda cert: None)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.id = env.node_id
         self.view = 0
@@ -261,6 +264,12 @@ class PbftReplica:
         instance = self._instance(preprepare.seq)
         instance.preprepare = preprepare
         self._log_bytes += preprepare.encoded_size()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "bft.preprepare", self.env.now(), self.id,
+                view=preprepare.view, seq=preprepare.seq,
+                digest=preprepare.digest.hex(),
+            )
         # The primary's preprepare stands in for its prepare (PBFT rule).
         implicit = Prepare(
             view=preprepare.view, seq=preprepare.seq, digest=preprepare.digest,
@@ -296,6 +305,11 @@ class PbftReplica:
         # Preprepare + 2f prepares (the primary's implicit prepare counts).
         if matching >= self.config.prepared_quorum + 1:
             instance.prepared = True
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "bft.prepare", self.env.now(), self.id,
+                    view=self.view, seq=seq, digest=digest.hex(),
+                )
             commit = Commit(
                 view=self.view, seq=seq, digest=digest, replica_id=self.id
             ).signed(self.keypair)
@@ -328,6 +342,11 @@ class PbftReplica:
         )
         if matching >= self.config.quorum:
             instance.committed = True
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "bft.commit", self.env.now(), self.id,
+                    view=self.view, seq=seq, digest=digest.hex(),
+                )
             self._pending_exec[seq] = instance.preprepare.request
             self._execute_ready()
 
@@ -366,6 +385,11 @@ class PbftReplica:
         if certificate is None:
             return
         self.stats.checkpoints_stable += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "ckpt.stable", self.env.now(), self.id,
+                seq=certificate.seq, block_height=certificate.block_height,
+            )
         if self.in_view_change and certificate.seq > self.last_stable_seq:
             # 2f+1 replicas signed state beyond our suspicion point: the
             # group is live in the current view — abandon the view change
@@ -418,6 +442,9 @@ class PbftReplica:
         if already_voted:
             return
         self.in_view_change = True
+        if self.tracer.enabled:
+            self.tracer.emit("bft.viewchange.start", self.env.now(), self.id,
+                             new_view=new_view)
         stable = self._checkpoints.latest_stable()
         view_change = ViewChange(
             new_view=new_view,
@@ -514,6 +541,9 @@ class PbftReplica:
     def _enter_view(self, new_view: int, preprepares: tuple[PrePrepare, ...]) -> None:
         self.view = new_view
         self.in_view_change = False
+        if self.tracer.enabled:
+            self.tracer.emit("bft.viewchange.end", self.env.now(), self.id,
+                             view=new_view)
         if self._vc_timer is not None:
             self._vc_timer.cancel()
             self._vc_timer = None

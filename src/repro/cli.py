@@ -16,6 +16,8 @@ import sys
 
 from repro.export.scenario import ExportScenario, ExportScenarioConfig
 from repro.jru import check_requirements, required_nodes_for_target, survival_probability
+from repro.obs.sinks import write_trace
+from repro.obs.trace import RecordingTracer
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
 
@@ -28,6 +30,9 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--warmup", type=float, default=3.0)
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a JSONL trace (summarize with "
+                             "'python -m repro.obs summary PATH')")
 
 
 def _add_export_parser(subparsers) -> None:
@@ -60,13 +65,14 @@ def _add_requirements_parser(subparsers) -> None:
 
 
 def _cmd_run(args, out) -> int:
+    tracer = RecordingTracer() if args.trace else None
     cluster = SimulatedCluster(ScenarioConfig(
         system=args.system,
         n=args.nodes,
         seed=args.seed,
         cycle_time_s=args.cycle_ms / 1000.0,
         payload_bytes=args.payload,
-    ))
+    ), tracer=tracer)
     result = cluster.run(duration_s=args.duration, warmup_s=args.warmup)
     print(result.summary_row(), file=out)
     print(f"p99 latency   : {result.p99_latency_s * 1000:.2f} ms", file=out)
@@ -75,6 +81,9 @@ def _cmd_run(args, out) -> int:
     chain = cluster.nodes[cluster.ids[0]].chain
     print(f"chain         : height {chain.height}, base {chain.base_height}, "
           f"head {chain.head.block_hash.hex()[:16]}…", file=out)
+    if tracer is not None:
+        count = write_trace(tracer.iter_events(), args.trace)
+        print(f"trace         : {count} events -> {args.trace}", file=out)
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.bus.reception import BusReceiver
 from repro.chain.block import Block
 from repro.chain.blockchain import Blockchain
 from repro.crypto.keys import KeyPair, KeyStore
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.monitor import LatencyRecorder
 from repro.wire.messages import SignedRequest
 
@@ -50,9 +51,11 @@ class BaselineNode:
         on_block: Callable[[Block], None] | None = None,
         censorship_timeout_s: float | None = None,
         max_client_pending: int = 256,
+        tracer: Tracer | None = None,
     ) -> None:
         self.env = env
         self.id = env.node_id
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.bft_config = bft_config
         self.keystore = keystore
         self.receiver = BusReceiver(nsdb)
@@ -69,6 +72,7 @@ class BaselineNode:
             keystore=keystore,
             on_decide=self._decided,
             on_new_primary=self._new_primary,
+            tracer=self.tracer,
         )
         self.client = PbftClient(
             env=env,
@@ -113,6 +117,9 @@ class BaselineNode:
         digest = request.digest
         if digest not in self._recv_times:
             self._recv_times[digest] = self.env.now()
+            if self.tracer.enabled:
+                self.tracer.emit("bus.rx", self.env.now(), self.id,
+                                 digest=digest.hex(), link=request.source_link)
             while len(self._recv_times) > 10_000:
                 self._recv_times.popitem(last=False)
         signed = self.client.submit(request)
@@ -186,6 +193,9 @@ class BaselineNode:
         if received is not None:
             self.latency.record(self.env.now(), self.env.now() - received)
         self.requests_logged += 1
+        if self.tracer.enabled:
+            self.tracer.emit("req.logged", self.env.now(), self.id,
+                             digest=signed.digest.hex(), seq=seq)
         self.builder.add(signed, seq)
         # PBFT reply to the submitting client.
         reply = Reply(

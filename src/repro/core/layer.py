@@ -33,6 +33,7 @@ from repro.core.messages import ZugBroadcast, ZugForward
 from repro.core.ratelimit import OpenRequestLimiter
 from repro.bft.env import Env
 from repro.crypto.keys import KeyPair, KeyStore
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.wire.messages import Request, SignedRequest
 
 
@@ -94,9 +95,11 @@ class ZugChainLayer:
         suspect: Callable[[], None],
         on_log: Callable[[SignedRequest, int], None],
         initial_primary: str,
+        tracer: Tracer | None = None,
     ) -> None:
         self.env = env
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.keypair = keypair
         self.keystore = keystore
         self._propose = propose
@@ -143,10 +146,16 @@ class ZugChainLayer:
         if self.config.filtering_enabled and self._dedup.in_log(digest):
             # Late or re-delivered bus data already logged: nothing to do.
             self.stats.filtered_duplicates += 1
+            if self.tracer.enabled:
+                self.tracer.emit("layer.dedup_drop", self.env.now(), self.id,
+                                 where="rx", digest=digest.hex())
             return
         if digest in self._queue:
             # Same content already open (e.g. second link delivered it too).
             self.stats.filtered_duplicates += 1
+            if self.tracer.enabled:
+                self.tracer.emit("layer.dedup_drop", self.env.now(), self.id,
+                                 where="rx", digest=digest.hex())
             return
         entry = _OpenRequest(
             request=request,
@@ -198,6 +207,9 @@ class ZugChainLayer:
         digest = signed.digest
         if self.config.filtering_enabled and self._dedup.in_log(digest):
             self.stats.broadcasts_ignored_logged += 1  # ln. 26–27
+            if self.tracer.enabled:
+                self.tracer.emit("layer.dedup_drop", self.env.now(), self.id,
+                                 where="broadcast", digest=digest.hex())
             return
         if not signed.verify(self.keystore):
             return  # fabricated signature: drop silently

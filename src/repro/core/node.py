@@ -25,6 +25,7 @@ from repro.core.layer import ZugChainConfig, ZugChainLayer
 from repro.core.messages import ZugBroadcast, ZugForward
 from repro.core.statesync import StateRequest, StateReply, StateSync
 from repro.crypto.keys import KeyPair, KeyStore
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.monitor import LatencyRecorder
 from repro.wire.messages import Request, SignedRequest
 
@@ -46,9 +47,11 @@ class ZugChainNode:
         on_block: Callable[[Block], None] | None = None,
         replica_cls: type = PbftReplica,
         block_store=None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.env = env
         self.id = env.node_id
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._nsdb = nsdb
         self.receiver = BusReceiver(nsdb)
         self._extra_receivers: dict[str, BusReceiver] = {}
@@ -64,6 +67,7 @@ class ZugChainNode:
             keystore=keystore,
             on_decide=self._decided,
             on_new_primary=self._new_primary,
+            tracer=self.tracer,
         )
         self.layer = ZugChainLayer(
             env=env,
@@ -74,6 +78,7 @@ class ZugChainNode:
             suspect=self.replica.suspect,
             on_log=self._log,
             initial_primary=bft_config.primary_of_view(0),
+            tracer=self.tracer,
         )
         from repro.core.blockbuilder import BlockBuilder  # avoid import cycle
 
@@ -133,6 +138,9 @@ class ZugChainNode:
         digest = request.digest
         if digest not in self._recv_times:
             self._recv_times[digest] = self.env.now()
+            if self.tracer.enabled:
+                self.tracer.emit("bus.rx", self.env.now(), self.id,
+                                 digest=digest.hex(), link=request.source_link)
             while len(self._recv_times) > 10_000:
                 self._recv_times.popitem(last=False)
 
@@ -171,6 +179,9 @@ class ZugChainNode:
         if received is not None:
             self.latency.record(self.env.now(), self.env.now() - received)
         self.requests_logged += 1
+        if self.tracer.enabled:
+            self.tracer.emit("req.logged", self.env.now(), self.id,
+                             digest=signed.digest.hex(), seq=seq)
         self.builder.add(signed, seq)
 
     def _new_primary(self, primary_id: str) -> None:

@@ -30,6 +30,7 @@ from repro.export.messages import (
     ReadReply,
     ReadRequest,
 )
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.util.errors import ChainError, ProtocolError
 
 
@@ -95,9 +96,11 @@ class DataCenter:
         rng: random.Random,
         verify_cost: Callable[[int], float] | None = None,
         on_verified_cpu: Callable[[float], None] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.env = env
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.bft_config = bft_config
         self.keypair = keypair
         self.keystore = keystore
@@ -127,6 +130,9 @@ class DataCenter:
             raise ProtocolError("an export round is already in progress")
         chosen = full_from or self._rng.choice(list(self.config.replica_ids))
         self._round = ExportRound(started_at=self.env.now(), full_from=chosen)
+        if self.tracer.enabled:
+            self.tracer.emit("export.round.start", self.env.now(), self.config.dc_id,
+                             full_from=chosen, last_sn=self.last_exported_sn)
         self._replies = {}
         self._acks = {}
         self._pending_blocks = {}
@@ -168,6 +174,10 @@ class DataCenter:
             full_received or self._designated_has_nothing_new()
         ):
             round_.read_done_at = self.env.now()
+            if self.tracer.enabled:
+                self.tracer.emit("export.read_done", self.env.now(), self.config.dc_id,
+                                 replies=len(self._replies),
+                                 blocks=len(self._pending_blocks))
             self._verify_and_continue()
 
     def _designated_has_nothing_new(self) -> bool:
@@ -250,6 +260,10 @@ class DataCenter:
             raise ChainError("verified chain head does not match the checkpoint")
         round_.blocks_exported = len(blocks)
         round_.verify_done_at = self.env.now() + cpu
+        if self.tracer.enabled:
+            self.tracer.emit("export.verify_done", round_.verify_done_at,
+                             self.config.dc_id, blocks=len(blocks),
+                             cpu_s=cpu)
         # Sync and delete leave only after the verification time has elapsed.
         self.env.set_timer(cpu, lambda: self._send_sync_and_delete(checkpoint, tuple(blocks)))
 
@@ -304,6 +318,14 @@ class DataCenter:
         if ack.replica_id not in self.config.replica_ids or not ack.verify(self.keystore):
             return
         self._acks[ack.replica_id] = ack
+        if self.tracer.enabled:
+            self.tracer.emit("export.block_acked", self.env.now(), self.config.dc_id,
+                             replica=ack.replica_id, block_height=ack.block_height)
         if len(self._acks) >= self.config.ack_quorum:
             round_.delete_done_at = self.env.now()
+            if self.tracer.enabled:
+                self.tracer.emit("export.delete_done", self.env.now(),
+                                 self.config.dc_id,
+                                 block_height=ack.block_height,
+                                 acks=len(self._acks))
             self.rounds.append(round_)

@@ -30,6 +30,7 @@ from repro.export.messages import (
     ReadReply,
     ReadRequest,
 )
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.util.errors import ChainError
 
 
@@ -65,9 +66,11 @@ class ExportHandler:
         chain: Blockchain,
         latest_checkpoint: Callable[[], CheckpointCertificate | None],
         discard_checkpoints_below: Callable[[int], None] = lambda seq: None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.env = env
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.bft_config = bft_config
         self.keypair = keypair
         self.keystore = keystore
@@ -110,6 +113,9 @@ class ExportHandler:
             replica_id=self.env.node_id, checkpoint=checkpoint, blocks=blocks
         ).signed(self.keypair)
         self.stats.reads_served += 1
+        if self.tracer.enabled and blocks:
+            self.tracer.emit("export.block_sent", self.env.now(), self.env.node_id,
+                             dc=request.dc_id, blocks=len(blocks))
         self.env.send(request.dc_id, reply)
 
     def _height_after_sn(self, last_sn: int) -> int:
@@ -160,6 +166,9 @@ class ExportHandler:
         self.chain.prune_below(height, certificate)
         self._discard_checkpoints_below(block.last_sn)
         self.stats.deletes_executed += 1
+        if self.tracer.enabled:
+            self.tracer.emit("chain.pruned", self.env.now(), self.env.node_id,
+                             below_height=height, block_hash=block_hash.hex())
         ack = DeleteAck(
             replica_id=self.env.node_id, block_height=height, block_hash=block_hash
         ).signed(self.keypair)
@@ -177,6 +186,9 @@ class ExportHandler:
         blocks = tuple(self.chain.blocks_in_range(first, last)) if first <= last else ()
         reply = BlockFetchReply(replica_id=self.env.node_id, blocks=blocks).signed(self.keypair)
         self.stats.fetches_served += 1
+        if self.tracer.enabled and blocks:
+            self.tracer.emit("export.block_sent", self.env.now(), self.env.node_id,
+                             dc=fetch.dc_id, blocks=len(blocks))
         self.env.send(fetch.dc_id, reply)
 
     # -- state transfer (error scenario ii) --------------------------------------------------

@@ -14,6 +14,7 @@ from repro.bft.config import BftConfig
 from repro.export.datacenter import DataCenter, DataCenterConfig, ExportRound
 from repro.export.replica_side import ExportConfig, ExportHandler
 from repro.export.seed import clone_chain, seed_chain_and_checkpoints
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.env import SimEnv
 from repro.sim.kernel import Kernel
 from repro.sim.network import LinkSpec, Network
@@ -37,8 +38,10 @@ class ExportScenarioConfig:
 class ExportScenario:
     """One assembled export deployment over a simulated LTE uplink."""
 
-    def __init__(self, config: ExportScenarioConfig) -> None:
+    def __init__(self, config: ExportScenarioConfig,
+                 tracer: Tracer | None = None) -> None:
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.kernel = Kernel()
         self.rng = RngRegistry(config.seed)
         self.model = CostModel()
@@ -78,6 +81,7 @@ class ExportScenario:
                 keystore=self.keystore,
                 chain=replica_chain,
                 latest_checkpoint=self._latest_cert_getter(replica_chain),
+                tracer=self.tracer,
             )
             self.handlers[replica_id] = handler
             self.network.register(replica_id, self._replica_inbox(handler))
@@ -99,6 +103,7 @@ class ExportScenario:
                 keypair=keypairs[dc_id],
                 keystore=self.keystore,
                 rng=self.rng.stream(f"dc:{dc_id}"),
+                tracer=self.tracer,
             )
             self.datacenters[dc_id] = dc
             self.network.register(dc_id, self._dc_inbox(dc))

@@ -141,6 +141,7 @@ def make_zugchain_node(spec: ByzantineSpec, rng: random.Random, **node_kwargs) -
             on_decide=node._decided,
             on_new_primary=node._new_primary,
             preprepare_delay_s=spec.preprepare_delay_s,
+            tracer=node.tracer,
         )
         node.replica = delaying
         node.layer._propose = delaying.propose
@@ -157,6 +158,7 @@ def make_zugchain_node(spec: ByzantineSpec, rng: random.Random, **node_kwargs) -
             suspect=node.replica.suspect,
             on_log=node._log,
             initial_primary=node.layer.primary,
+            tracer=node.tracer,
         )
         node.layer = faulty_layer
 

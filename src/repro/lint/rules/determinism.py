@@ -386,6 +386,121 @@ class EventLoopClockRule(Rule):
                     )
 
 
+#: Receiver attribute names that identify metric write calls.
+_METRIC_WRITE_ATTRS = ("observe", "inc")
+
+#: Receiver name fragments that identify a metric object.
+_METRIC_RECEIVER_HINTS = ("counter", "gauge", "histogram", "metric")
+
+
+def _is_tracer_emit(node: ast.Call) -> bool:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+        return False
+    receiver = terminal_name(func.value)
+    return receiver is not None and "tracer" in receiver.lower()
+
+
+def _is_metric_write(node: ast.Call) -> bool:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr in _METRIC_WRITE_ATTRS):
+        return False
+    receiver = terminal_name(func.value)
+    return receiver is not None and any(
+        hint in receiver.lower() for hint in _METRIC_RECEIVER_HINTS
+    )
+
+
+def _ambient_format_target(node: ast.AST) -> str | None:
+    """Describe ``node`` if formatting it has no canonical rendering."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "a dict display"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set display"
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        if name in ("set", "frozenset", "dict", "vars", "locals", "globals"):
+            return f"{name}()"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "keys", "values", "items",
+        ):
+            return f".{node.func.attr}()"
+    return None
+
+
+def _emission_args(node: ast.Call) -> Iterator[ast.AST]:
+    yield from node.args
+    for keyword in node.keywords:
+        yield keyword.value
+
+
+@register_rule
+class ObservabilityEmissionRule(Rule):
+    code = "DET007"
+    name = "obs-emission"
+    description = (
+        "trace/metric emission reading the wall clock or formatting an "
+        "ambient object (f-string/str/repr over a dict, set, or vars()); "
+        "trace fields must be scalars derived from protocol state and "
+        "timestamps must come from env.now()"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            is_trace = _is_tracer_emit(node)
+            if not is_trace and not _is_metric_write(node):
+                continue
+            for arg in _emission_args(node):
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call) and call_name(sub) in _WALL_CLOCK_CALLS:
+                        yield Finding(
+                            code=self.code,
+                            message=(
+                                f"{call_name(sub)}() inside trace/metric emission; "
+                                "stamp events with env.now() so identical-seed "
+                                "runs emit identical records"
+                            ),
+                            path=ctx.path,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                        )
+                    elif isinstance(sub, ast.FormattedValue):
+                        target = _ambient_format_target(sub.value)
+                        if target is not None:
+                            yield Finding(
+                                code=self.code,
+                                message=(
+                                    f"f-string formats {target} in a trace/metric "
+                                    "field; container renderings are not canonical "
+                                    "— emit sorted scalars instead"
+                                ),
+                                path=ctx.path,
+                                line=sub.lineno,
+                                col=sub.col_offset,
+                            )
+                    elif (
+                        is_trace
+                        and isinstance(sub, ast.Call)
+                        and terminal_name(sub.func) in ("str", "repr", "format")
+                        and sub.args
+                    ):
+                        target = _ambient_format_target(sub.args[0])
+                        if target is not None:
+                            yield Finding(
+                                code=self.code,
+                                message=(
+                                    f"{terminal_name(sub.func)}() over {target} in a "
+                                    "trace field has no canonical rendering; emit "
+                                    "sorted scalars instead"
+                                ),
+                                path=ctx.path,
+                                line=sub.lineno,
+                                col=sub.col_offset,
+                            )
+
+
 @register_rule
 class FloatDeadlineEqualityRule(Rule):
     code = "DET005"

@@ -1,0 +1,81 @@
+"""repro.obs — deterministic observability: tracing, metrics, spans, sinks.
+
+Three parts (see DESIGN.md "Observability layer"):
+
+* :mod:`repro.obs.trace` — structured tracing at named protocol points,
+  stamped with virtual time + node id + a monotonic sequence; off by
+  default via :data:`NULL_TRACER`.
+* :mod:`repro.obs.metrics` — counters/gauges/fixed-bucket histograms with
+  per-node registries and a cluster-level ``aggregate()`` that folds in
+  every runtime Env's counters (sends, drops, decode errors, oversize
+  frames).
+* :mod:`repro.obs.spans` / :mod:`repro.obs.sinks` — span pairing into
+  per-request phase latencies, and a byte-stable JSONL trace format read
+  back by ``python -m repro.obs summary``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    ClusterMetrics,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fold_env_counters,
+)
+from repro.obs.sinks import (
+    JsonlTraceSink,
+    NullSink,
+    decode_event,
+    encode_event,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+from repro.obs.spans import (
+    PHASES,
+    PhaseStats,
+    RequestSpan,
+    SpanReport,
+    ViewChangeStall,
+    pair_request_spans,
+    pair_view_changes,
+)
+from repro.obs.trace import (
+    EVENT_TAXONOMY,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "EVENT_TAXONOMY",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
+    "Tracer",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "ClusterMetrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "fold_env_counters",
+    "JsonlTraceSink",
+    "NullSink",
+    "decode_event",
+    "encode_event",
+    "iter_trace",
+    "read_trace",
+    "write_trace",
+    "PHASES",
+    "PhaseStats",
+    "RequestSpan",
+    "SpanReport",
+    "ViewChangeStall",
+    "pair_request_spans",
+    "pair_view_changes",
+]

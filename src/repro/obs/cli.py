@@ -1,0 +1,142 @@
+"""``python -m repro.obs`` — summarize a JSONL trace into operator tables.
+
+Subcommands::
+
+    python -m repro.obs summary trace.jsonl [--node node-0] [--since 3.0]
+    python -m repro.obs events trace.jsonl
+
+``summary`` prints the per-phase latency decomposition (span pairing over
+the request lifecycle events), drop/dedup tables, and view-change stalls;
+``events`` prints per-name event counts for a quick look at what a trace
+contains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter as TallyCounter
+
+from repro.analysis import format_table
+from repro.obs.sinks import read_trace
+from repro.obs.spans import PHASES, pair_request_spans, pair_view_changes
+from repro.util.errors import CodecError
+
+
+def _ms(value: float) -> str:
+    return f"{value * 1000:.3f} ms"
+
+
+def _phase_table(report) -> str:
+    rows = []
+    for name in (*PHASES, "end_to_end"):
+        stats = report.end_to_end if name == "end_to_end" else report.phase_stats[name]
+        rows.append([
+            name,
+            str(stats.count),
+            _ms(stats.mean),
+            _ms(stats.minimum),
+            _ms(stats.maximum),
+            _ms(stats.total),
+        ])
+    return format_table(
+        ["phase", "count", "mean", "min", "max", "total"],
+        rows,
+        title="Per-request phase latency (bus reception -> LOG)",
+    )
+
+
+def _drop_table(events) -> str | None:
+    drops: TallyCounter = TallyCounter()
+    for event in events:
+        if event.name == "layer.dedup_drop":
+            where = event.get("where", "?")
+            drops[(event.node, str(where))] += 1
+    if not drops:
+        return None
+    rows = [
+        [node, where, str(count)]
+        for (node, where), count in sorted(drops.items())
+    ]
+    return format_table(["node", "where", "drops"], rows,
+                        title="Dedup/filter drops")
+
+
+def _viewchange_table(events) -> str | None:
+    stalls = pair_view_changes(events)
+    if not stalls:
+        return None
+    rows = []
+    for stall in stalls:
+        rows.append([
+            stall.node,
+            f"{stall.started_at:.3f} s",
+            "open" if stall.ended_at is None else f"{stall.ended_at:.3f} s",
+            "-" if stall.duration is None else _ms(stall.duration),
+        ])
+    return format_table(["node", "start", "end", "stall"], rows,
+                        title="View-change stalls")
+
+
+def _cmd_summary(args, out) -> int:
+    events = read_trace(args.trace)
+    report = pair_request_spans(events, node=args.node, since=args.since)
+    print(_phase_table(report), file=out)
+    if report.incomplete_count:
+        print(f"incomplete spans: {report.incomplete_count} "
+              "(request observed but never logged on that node)", file=out)
+    for table in (_drop_table(events), _viewchange_table(events)):
+        if table is not None:
+            print(file=out)
+            print(table, file=out)
+    return 0
+
+
+def _cmd_events(args, out) -> int:
+    tally: TallyCounter = TallyCounter()
+    nodes: set[str] = set()
+    last_t = 0.0
+    events = read_trace(args.trace)
+    for event in events:
+        tally[event.name] += 1
+        nodes.add(event.node)
+        last_t = max(last_t, event.t)
+    rows = [[name, str(count)] for name, count in sorted(tally.items())]
+    print(format_table(["event", "count"], rows, title="Event counts"), file=out)
+    print(f"{len(events)} events, {len(nodes)} nodes, "
+          f"last event at t={last_t:.3f} s", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="summarize deterministic JSONL traces (phase latencies, drops)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summary = subparsers.add_parser("summary", help="phase-latency and drop tables")
+    summary.add_argument("trace", help="JSONL trace file")
+    summary.add_argument("--node", default=None,
+                         help="restrict span pairing to one node's view")
+    summary.add_argument("--since", type=float, default=None,
+                         help="drop spans logged before this virtual time (warmup)")
+
+    events = subparsers.add_parser("events", help="per-name event counts")
+    events.add_argument("trace", help="JSONL trace file")
+
+    args = parser.parse_args(argv)
+    handlers = {"summary": _cmd_summary, "events": _cmd_events}
+    try:
+        return handlers[args.command](args, out)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CodecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

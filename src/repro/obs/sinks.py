@@ -1,0 +1,122 @@
+"""Trace sinks: JSONL with stable field order, plus the no-op sink.
+
+The JSONL format is the determinism contract made concrete: one event per
+line, keys in a fixed order (``seq``, ``t``, ``node``, ``name``, then the
+event's fields sorted by key under ``f``), compact separators, ASCII-only.  Two
+identical-seed runs therefore produce byte-identical files — asserted by
+``tests/obs/test_determinism.py`` — which makes traces diffable artifacts:
+a behaviour change between commits shows up as a one-line diff, not a
+shrug.
+
+Floats are serialized via ``json``'s ``repr``-based shortest round-trip
+encoding, which is deterministic across runs and platforms for equal
+values; virtual time is derived purely from the seed, so equal it is.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from repro.obs.trace import TraceEvent
+from repro.util.errors import CodecError
+
+
+class NullSink:
+    """Discards events; the sink analogue of :data:`~repro.obs.trace.NULL_TRACER`."""
+
+    def write_event(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def encode_event(event: TraceEvent) -> str:
+    """One JSONL line (no newline), keys in canonical order.
+
+    Event fields nest under ``"f"`` so a field named like an envelope key
+    (``req.logged`` carries a BFT ``seq``) can never shadow the trace
+    sequence number.
+    """
+    record: dict[str, object] = {
+        "seq": event.seq,
+        "t": event.t,
+        "node": event.node,
+        "name": event.name,
+    }
+    if event.fields:  # already sorted by key; dumps preserves insertion order
+        record["f"] = dict(event.fields)
+    return json.dumps(record, separators=(",", ":"), ensure_ascii=True)
+
+
+def decode_event(line: str) -> TraceEvent:
+    """Inverse of :func:`encode_event`."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"bad trace line: {exc}") from exc
+    if not isinstance(record, dict):
+        raise CodecError(f"bad trace line: expected an object, got {type(record).__name__}")
+    fields = record.get("f", {})
+    if not isinstance(fields, dict):
+        raise CodecError("bad trace line: 'f' must be an object")
+    try:
+        seq = record["seq"]
+        t = record["t"]
+        node = record["node"]
+        name = record["name"]
+    except KeyError as exc:
+        raise CodecError(f"trace line missing key {exc}") from exc
+    return TraceEvent(
+        seq=int(seq), t=float(t), node=str(node), name=str(name),
+        fields=tuple(sorted(fields.items())),
+    )
+
+
+class JsonlTraceSink:
+    """Streams events to a file as canonical JSONL."""
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="ascii", newline="\n")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+
+    def write_event(self, event: TraceEvent) -> None:
+        self._handle.write(encode_event(event) + "\n")
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_trace(events: Iterable[TraceEvent], path: str) -> int:
+    """Write all ``events`` to ``path``; returns the event count."""
+    count = 0
+    with JsonlTraceSink(path) as sink:
+        for event in events:
+            sink.write_event(event)
+            count += 1
+    return count
+
+
+def iter_trace(path: str) -> Iterator[TraceEvent]:
+    """Stream events back from a JSONL trace file."""
+    with open(path, encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield decode_event(line)
+
+
+def read_trace(path: str) -> list[TraceEvent]:
+    return list(iter_trace(path))

@@ -20,10 +20,11 @@ the train Ethernet.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Iterable
 
 import repro.wire.tags  # noqa: F401  (registers all message types)
+from repro.obs.metrics import ClusterMetrics, MetricsRegistry, fold_env_counters
 from repro.runtime.base import BaseEnv, EnvTimer
 from repro.util.errors import CodecError
 from repro.wire.registry import decode_message, encode_message
@@ -207,6 +208,29 @@ class AsyncioCluster:
 
     def nodes(self):
         return {node_id: hosted.node for node_id, hosted in self.hosted.items()}
+
+    def envs(self) -> dict[str, AsyncioEnv]:
+        return {node_id: hosted.env for node_id, hosted in self.hosted.items()}
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        """Cluster-level counter fold over every node's AsyncioEnv.
+
+        Includes the transport-layer ``env.decode_errors`` and
+        ``env.oversize_frames`` alongside the shared emission counters, so
+        fault-injection tests can assert a bad frame surfaced cluster-wide.
+        """
+        cluster = ClusterMetrics()
+        for node_id, hosted in sorted(self.hosted.items()):
+            registry = cluster.node(node_id)
+            replica = getattr(hosted.node, "replica", None)
+            if replica is not None:
+                registry.inc_from(asdict(replica.stats), prefix="bft.")
+            layer = getattr(hosted.node, "layer", None)
+            if layer is not None:
+                registry.inc_from(asdict(layer.stats), prefix="layer.")
+        merged = cluster.aggregate()
+        fold_env_counters(merged, self.envs())
+        return merged
 
     async def stop(self) -> None:
         for hosted in self.hosted.values():

@@ -10,7 +10,7 @@ and bus reception faults.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.bft.config import BftConfig
 from repro.bus.faults import ReceptionFaultConfig
@@ -23,6 +23,9 @@ from repro.core.layer import ZugChainConfig
 from repro.core.node import ZugChainNode
 from repro.crypto.keys import KeyStore, default_scheme
 from repro.faults.behaviors import ByzantineSpec, make_zugchain_node
+from repro.obs.metrics import ClusterMetrics, MetricsRegistry
+from repro.obs.spans import pair_request_spans
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.env import SimEnv
 from repro.runtime.host import NodeHost
 from repro.sim.kernel import Kernel
@@ -82,6 +85,10 @@ class ScenarioResult:
     memory_mean_bytes: float
     memory_peak_bytes: float
     view_changes: int
+    # Aggregated cluster counters (layer/bft/env prefixes) and, when the run
+    # was traced, the per-phase latency decomposition from span pairing.
+    metrics: dict[str, int] = field(default_factory=dict)
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def summary_row(self) -> str:
         return (
@@ -97,8 +104,9 @@ class ScenarioResult:
 class SimulatedCluster:
     """One assembled deployment, ready to run and measure."""
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    def __init__(self, config: ScenarioConfig, tracer: Tracer | None = None) -> None:
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.kernel = Kernel()
         self.rng = RngRegistry(config.seed)
         self.model = CostModel()
@@ -134,6 +142,7 @@ class SimulatedCluster:
         self.cpus: dict[str, CpuAccount] = {}
         self.nodes: dict[str, object] = {}
         self.hosts: dict[str, NodeHost] = {}
+        self.envs: dict[str, SimEnv] = {}
         self.memory_series: dict[str, TimeSeries] = {}
 
         zug_config = ZugChainConfig(
@@ -149,6 +158,7 @@ class SimulatedCluster:
             cpu = CpuAccount(self.kernel, self.model, name=node_id)
             self.cpus[node_id] = cpu
             env = SimEnv(node_id, self.kernel, self.network, cpu, self.model)
+            self.envs[node_id] = env
             spec = config.byzantine.get(node_id, ByzantineSpec())
             if config.system == "zugchain":
                 from repro.bft.linear import LinearBftReplica
@@ -166,6 +176,7 @@ class SimulatedCluster:
                     nsdb=self.nsdb,
                     on_block=self._block_hook(node_id, cpu),
                     replica_cls=replica_cls,
+                    tracer=self.tracer,
                 )
             else:
                 node = BaselineNode(
@@ -175,6 +186,7 @@ class SimulatedCluster:
                     keystore=self.keystore,
                     nsdb=self.nsdb,
                     on_block=self._block_hook(node_id, cpu),
+                    tracer=self.tracer,
                 )
             host = NodeHost(node, self.network, cpu, self.model)
             host.attach_bus(self.master, config.bus_faults.get(node_id))
@@ -236,6 +248,10 @@ class SimulatedCluster:
                 delete_signatures={"dc-sim-a": b"\x01" * 64, "dc-sim-b": b"\x02" * 64},
             )
             chain.prune_below(target, certificate)
+            if self.tracer.enabled:
+                self.tracer.emit("chain.pruned", self.kernel.now, node_id,
+                                 below_height=target,
+                                 block_hash=base.block_hash.hex())
 
     # -- running -----------------------------------------------------------------------
 
@@ -279,6 +295,29 @@ class SimulatedCluster:
         view = max(set(views), key=views.count)
         return self.bft_config.primary_of_view(view)
 
+    def collect_metrics(self) -> ClusterMetrics:
+        """Per-node registries built from the protocol stats objects.
+
+        Populated at collection time from the counters the protocol already
+        maintains (:class:`LayerStats`, :class:`ReplicaStats`), so metrics
+        cost nothing on the hot path and exist for untraced runs too.
+        """
+        cluster = ClusterMetrics()
+        for node_id in self.ids:
+            node = self.nodes[node_id]
+            registry = cluster.node(node_id)
+            registry.inc_from(asdict(node.replica.stats), prefix="bft.")
+            layer = getattr(node, "layer", None)
+            if layer is not None:
+                registry.inc_from(asdict(layer.stats), prefix="layer.")
+            registry.gauge("chain.height").set(node.chain.height)
+            registry.counter("requests.logged").inc(node.requests_logged)
+        return cluster
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        """Cluster-level fold including every SimEnv's emission counters."""
+        return self.collect_metrics().aggregate(envs=self.envs)
+
     def _collect(self, since: float, duration_s: float) -> ScenarioResult:
         primary = self.primary_id()
         latency = self.nodes[primary].latency.since(since)
@@ -297,6 +336,15 @@ class SimulatedCluster:
         view_changes = max(
             self.nodes[i].replica.stats.view_changes_completed for i in self.ids
         )
+        phases: dict[str, dict[str, float]] = {}
+        if self.tracer.enabled and hasattr(self.tracer, "iter_events"):
+            report = pair_request_spans(
+                self.tracer.iter_events(), node=primary, since=since
+            )
+            phases = {
+                name: stats.snapshot() for name, stats in report.phase_stats.items()
+            }
+            phases["end_to_end"] = report.end_to_end.snapshot()
         return ScenarioResult(
             system=self.config.system,
             cycle_time_s=self.config.cycle_time_s,
@@ -312,4 +360,6 @@ class SimulatedCluster:
             memory_mean_bytes=(sum(mem_values) / len(mem_values)) if mem_values else 0.0,
             memory_peak_bytes=max(mem_values) if mem_values else 0.0,
             view_changes=view_changes,
+            metrics=self.aggregate_metrics().counter_values(),
+            phases=phases,
         )

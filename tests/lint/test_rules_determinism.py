@@ -274,3 +274,83 @@ def test_det006_ignores_code_outside_repro():
         path="tools/example.py",
         select=["DET006"],
     )
+
+
+def test_det007_flags_wall_clock_in_trace_emission():
+    findings = run(
+        """
+        import time
+
+        class Node:
+            def rx(self, digest):
+                self.tracer.emit("bus.rx", time.time(), self.id, digest=digest.hex())
+        """,
+        path="src/repro/core/node.py",
+        select=["DET007"],
+    )
+    assert codes(findings) == ["DET007"]
+    assert "env.now()" in findings[0].message
+
+
+def test_det007_flags_ambient_formatting_in_trace_fields():
+    findings = run(
+        """
+        class Node:
+            def rx(self, env, state):
+                self.tracer.emit("bus.rx", env.now(), self.id, keys=f"{state.keys()}")
+                self.tracer.emit("bus.rx", env.now(), self.id, views=str({1, 2}))
+                self.tracer.emit("bus.rx", env.now(), self.id, env_=repr(vars(self)))
+        """,
+        path="src/repro/core/node.py",
+        select=["DET007"],
+    )
+    assert codes(findings) == ["DET007"] * 3
+
+
+def test_det007_flags_wall_clock_in_metric_writes():
+    findings = run(
+        """
+        import time
+
+        def sample(counter, histogram):
+            counter.inc(1)
+            histogram.observe(time.monotonic())
+        """,
+        path="src/repro/obs/metrics.py",
+        select=["DET007"],
+    )
+    assert codes(findings) == ["DET007"]
+
+
+def test_det007_clean_for_scalar_fields_and_virtual_time():
+    assert not run(
+        """
+        class Node:
+            def rx(self, env, request, digest):
+                self.tracer.emit("bus.rx", env.now(), self.id,
+                                 digest=digest.hex(), link=request.source_link)
+                self.tracer.emit("req.logged", env.now(), self.id,
+                                 digest=digest.hex(), seq=len(self.log))
+        """,
+        path="src/repro/core/node.py",
+        select=["DET007"],
+    )
+
+
+def test_det007_ignores_non_tracer_emit_and_plain_fstrings():
+    # `.emit` on a non-tracer receiver and f-strings over opaque scalars
+    # (whose rendering the linter cannot judge) are out of scope.
+    assert not run(
+        """
+        import time
+
+        def publish(signal, env):
+            signal.emit("tick", time.time())
+
+        class Node:
+            def rx(self, env, view):
+                self.tracer.emit("bus.rx", env.now(), self.id, label=f"view-{view}")
+        """,
+        path="src/repro/core/node.py",
+        select=["DET007"],
+    )

@@ -1,0 +1,95 @@
+"""Tracing must observe, never perturb: the tentpole's conformance tests.
+
+* A traced fixed-seed Fig. 6 run produces byte-identical block hashes to
+  an untraced one (the tracer reads protocol state, it never mutates it).
+* Two identical-seed traced runs serialize to byte-identical JSONL.
+* The span-pairing phase decomposition sums to the scenario's own
+  LatencyRecorder end-to-end latency within 1e-9 s.
+"""
+
+import pytest
+
+from repro.obs import RecordingTracer, pair_request_spans, write_trace
+from repro.obs.spans import PHASES
+from repro.scenarios import ScenarioConfig, SimulatedCluster
+
+SEED = 1234
+
+
+def _run(tracer=None, cycle_time_s=0.064):
+    # The Fig. 6 operating point: per-cycle requests at a fixed bus period.
+    cluster = SimulatedCluster(
+        ScenarioConfig(system="zugchain", seed=SEED, cycle_time_s=cycle_time_s),
+        tracer=tracer,
+    )
+    result = cluster.run(duration_s=6.0, warmup_s=1.0)
+    return cluster, result
+
+
+def _chain_hashes(cluster):
+    return [
+        cluster.nodes[node_id].chain.head.block_hash.hex()
+        for node_id in cluster.ids
+    ]
+
+
+def test_tracing_does_not_perturb_block_hashes():
+    untraced_cluster, untraced = _run(tracer=None)
+    traced_cluster, traced = _run(tracer=RecordingTracer())
+    assert _chain_hashes(traced_cluster) == _chain_hashes(untraced_cluster)
+    assert traced.requests_logged == untraced.requests_logged
+    assert traced.mean_latency_s == untraced.mean_latency_s
+
+
+def test_identical_seed_runs_emit_byte_identical_jsonl(tmp_path):
+    paths = []
+    for run_index in range(2):
+        tracer = RecordingTracer()
+        _run(tracer=tracer)
+        path = tmp_path / f"run-{run_index}.jsonl"
+        count = write_trace(tracer.iter_events(), str(path))
+        assert count == len(tracer)
+        paths.append(path)
+    first, second = (path.read_bytes() for path in paths)
+    assert first == second
+    assert len(first) > 0
+
+
+def test_phase_sums_match_latency_recorder_within_1e9():
+    tracer = RecordingTracer()
+    cluster, result = _run(tracer=tracer)
+    primary = cluster.primary_id()
+    report = pair_request_spans(tracer.iter_events(), node=primary, since=1.0)
+    recorder = cluster.latency_recorder(primary).since(1.0)
+    assert report.end_to_end.count == len(recorder)
+    assert report.end_to_end.mean == pytest.approx(recorder.mean(), abs=1e-9)
+    # The three phases telescope: per-span and in aggregate.
+    for span in report.spans:
+        assert sum(span.phases().values()) == pytest.approx(
+            span.end_to_end, abs=1e-9
+        )
+    phase_total = sum(report.phase_stats[name].total for name in PHASES)
+    assert phase_total == pytest.approx(report.end_to_end.total, abs=1e-9)
+
+
+def test_scenario_result_carries_metrics_and_phases():
+    tracer = RecordingTracer()
+    _, result = _run(tracer=tracer)
+    assert result.metrics["bft.decided"] > 0
+    assert result.metrics["env.messages_emitted"] > 0
+    assert set(PHASES) <= set(result.phases)
+    assert result.phases["end_to_end"]["count"] == result.requests_logged
+    # Untraced runs still aggregate metrics but report no phases.
+    _, untraced = _run(tracer=None)
+    assert untraced.phases == {}
+    assert untraced.metrics["bft.decided"] == result.metrics["bft.decided"]
+
+
+def test_sim_env_counters_fold_into_aggregate():
+    tracer = RecordingTracer()
+    cluster, _ = _run(tracer=tracer)
+    merged = cluster.aggregate_metrics()
+    values = merged.counter_values()
+    assert values["env.messages_emitted"] > 0
+    assert values["layer.filtered_duplicates"] >= 0
+    assert merged.node == "cluster"

@@ -1,0 +1,121 @@
+"""Metrics registry tests: counters, histogram merges, env-counter folds."""
+
+import pytest
+
+from repro.obs import ClusterMetrics, Histogram, MetricsRegistry
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, fold_env_counters
+from repro.util.errors import ProtocolError
+
+
+def test_counter_is_monotone():
+    registry = MetricsRegistry(node="node-0")
+    counter = registry.counter("bft.decided")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter_values() == {"bft.decided": 5}
+    with pytest.raises(ProtocolError):
+        counter.inc(-1)
+
+
+def test_metric_names_are_type_exclusive():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ProtocolError):
+        registry.gauge("x")
+    with pytest.raises(ProtocolError):
+        registry.histogram("x")
+
+
+def test_histogram_buckets_and_quantile():
+    hist = Histogram("lat", bounds=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.02, 0.02, 0.5, 2.0):
+        hist.observe(value)
+    assert hist.bucket_counts == [1, 2, 1, 1]
+    assert hist.count == 5
+    assert hist.mean() == pytest.approx((0.005 + 0.02 + 0.02 + 0.5 + 2.0) / 5)
+    assert hist.quantile(0.5) == 0.1
+    assert hist.quantile(1.0) == 1.0  # overflow reports the last finite bound
+
+
+def test_histogram_merge_is_elementwise_and_exact():
+    a = Histogram("lat", bounds=(0.01, 0.1))
+    b = Histogram("lat", bounds=(0.01, 0.1))
+    for value in (0.005, 0.05):
+        a.observe(value)
+    for value in (0.05, 5.0):
+        b.observe(value)
+    a.merge(b)
+    assert a.bucket_counts == [1, 2, 1]
+    assert a.count == 4
+    assert a.total == pytest.approx(0.005 + 0.05 + 0.05 + 5.0)
+    mismatched = Histogram("lat", bounds=(0.01, 0.2))
+    with pytest.raises(ProtocolError):
+        a.merge(mismatched)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ProtocolError):
+        Histogram("bad", bounds=(0.1, 0.1))
+    with pytest.raises(ProtocolError):
+        Histogram("bad", bounds=())
+
+
+def test_inc_from_folds_stats_mapping():
+    registry = MetricsRegistry()
+    registry.inc_from({"decided": 3, "proposed": 5}, prefix="bft.")
+    registry.inc_from({"decided": 2}, prefix="bft.")
+    assert registry.counter_values() == {"bft.decided": 5, "bft.proposed": 5}
+
+
+def test_cluster_aggregate_adds_counters_and_maxes_gauges():
+    cluster = ClusterMetrics()
+    for node_id, height in (("node-0", 7), ("node-1", 5)):
+        registry = cluster.node(node_id)
+        registry.counter("requests.logged").inc(10)
+        registry.gauge("chain.height").set(height)
+        registry.histogram("lat", bounds=DEFAULT_LATENCY_BUCKETS_S).observe(0.01)
+    merged = cluster.aggregate()
+    assert merged.node == "cluster"
+    assert merged.counter_values()["requests.logged"] == 20
+    assert merged.gauge_values()["chain.height"] == 7  # worst node wins
+    assert merged.snapshot()["histograms"]["lat"]["count"] == 2
+    assert cluster.node_ids() == ["node-0", "node-1"]
+
+
+class _FakeCounters:
+    def __init__(self, **values):
+        self._values = values
+
+    def snapshot(self):
+        return dict(self._values)
+
+
+class _FakeEnv:
+    def __init__(self, sends, drops, decode_errors=None):
+        self.counters = _FakeCounters(sends=sends, drops=drops)
+        if decode_errors is not None:
+            self.decode_errors = decode_errors
+            self.oversize_frames = 0
+
+
+def test_fold_env_counters_includes_transport_extras_when_present():
+    registry = MetricsRegistry(node="cluster")
+    envs = {
+        "node-0": _FakeEnv(sends=10, drops=1, decode_errors=2),
+        "node-1": _FakeEnv(sends=20, drops=0),  # SimEnv: no decode_errors attr
+    }
+    fold_env_counters(registry, envs)
+    values = registry.counter_values()
+    assert values["env.sends"] == 30
+    assert values["env.drops"] == 1
+    assert values["env.decode_errors"] == 2
+    assert values["env.oversize_frames"] == 0
+
+
+def test_snapshot_is_sorted_and_deterministic():
+    registry = MetricsRegistry(node="n")
+    registry.counter("z").inc()
+    registry.counter("a").inc()
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["a", "z"]
+    assert snap == registry.snapshot()

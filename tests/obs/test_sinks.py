@@ -1,0 +1,83 @@
+"""Sink tests: canonical JSONL encoding, round-trips, error handling."""
+
+import io
+
+import pytest
+
+from repro.obs import JsonlTraceSink, RecordingTracer, TraceEvent
+from repro.obs.sinks import (
+    NullSink,
+    decode_event,
+    encode_event,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+from repro.util.errors import CodecError
+
+
+def test_encode_canonical_key_order():
+    event = TraceEvent(seq=3, t=1.5, node="node-0", name="bft.commit",
+                       fields=(("digest", "ab"), ("view", 0)))
+    line = encode_event(event)
+    assert line == ('{"seq":3,"t":1.5,"node":"node-0","name":"bft.commit",'
+                    '"f":{"digest":"ab","view":0}}')
+    assert " " not in line  # compact separators
+
+
+def test_encode_decode_round_trip():
+    event = TraceEvent(seq=0, t=0.064, node="node-2", name="bus.rx",
+                       fields=(("digest", "aabb"), ("link", 1)))
+    decoded = decode_event(encode_event(event))
+    assert decoded == event
+
+
+def test_seq_field_does_not_shadow_trace_seq():
+    # req.logged carries a BFT `seq` field; the envelope's trace sequence
+    # number must survive the round trip independently.
+    event = TraceEvent(seq=42, t=2.0, node="node-0", name="req.logged",
+                       fields=(("digest", "aa"), ("seq", 7)))
+    decoded = decode_event(encode_event(event))
+    assert decoded.seq == 42
+    assert decoded.get("seq") == 7
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(CodecError):
+        decode_event("not json")
+    with pytest.raises(CodecError):
+        decode_event('["a","list"]')
+    with pytest.raises(CodecError):
+        decode_event('{"t":1.0,"node":"n","name":"x"}')  # missing seq
+
+
+def test_write_and_read_trace_file(tmp_path):
+    tracer = RecordingTracer()
+    tracer.emit("bus.rx", 0.064, "node-0", digest="aa", link=0)
+    tracer.emit("req.logged", 0.077, "node-0", digest="aa", seq=1)
+    path = str(tmp_path / "trace.jsonl")
+    count = write_trace(tracer.iter_events(), path)
+    assert count == 2
+    assert read_trace(path) == tracer.events
+    assert list(iter_trace(path)) == tracer.events
+
+
+def test_jsonl_sink_on_stream_and_context_manager():
+    buffer = io.StringIO()
+    with JsonlTraceSink(buffer) as sink:
+        sink.write_event(TraceEvent(seq=0, t=1.0, node="n", name="bus.rx"))
+    # Caller-owned streams stay open after close().
+    assert buffer.getvalue().endswith("\n")
+    assert not buffer.closed
+
+
+def test_null_sink_discards():
+    sink = NullSink()
+    sink.write_event(TraceEvent(seq=0, t=1.0, node="n", name="bus.rx"))
+    sink.close()
+
+
+def test_blank_lines_are_skipped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"seq":0,"t":1.0,"node":"n","name":"bus.rx"}\n\n')
+    assert len(read_trace(str(path))) == 1

@@ -1,0 +1,128 @@
+"""Span-pairing tests: out-of-order completion, drops, view changes."""
+
+import pytest
+
+from repro.obs import RecordingTracer, pair_request_spans
+from repro.obs.spans import PHASES, pair_view_changes
+
+
+def _lifecycle(tracer, node, digest, rx, pre, commit, logged, seq=1):
+    tracer.emit("bus.rx", rx, node, digest=digest)
+    tracer.emit("bft.preprepare", pre, node, digest=digest, view=0, seq=seq)
+    tracer.emit("bft.commit", commit, node, digest=digest, view=0, seq=seq)
+    tracer.emit("req.logged", logged, node, digest=digest, seq=seq)
+
+
+def test_single_span_phases_telescope():
+    tracer = RecordingTracer()
+    _lifecycle(tracer, "node-0", "aa", rx=1.0, pre=1.2, commit=1.5, logged=1.6)
+    report = pair_request_spans(tracer.iter_events())
+    (span,) = report.spans
+    assert span.complete
+    assert span.seq == 1
+    phases = span.phases()
+    assert phases["rx->propose"] == pytest.approx(0.2)
+    assert phases["propose->commit"] == pytest.approx(0.3)
+    assert phases["commit->log"] == pytest.approx(0.1)
+    assert sum(phases.values()) == pytest.approx(span.end_to_end, abs=1e-12)
+
+
+def test_out_of_order_completion_pairs_by_digest():
+    # Request B commits and logs before request A: pairing keys on
+    # (node, digest), not on arrival order.
+    tracer = RecordingTracer()
+    tracer.emit("bus.rx", 1.0, "node-0", digest="aa")
+    tracer.emit("bus.rx", 1.1, "node-0", digest="bb")
+    tracer.emit("bft.preprepare", 1.2, "node-0", digest="bb")
+    tracer.emit("bft.preprepare", 1.3, "node-0", digest="aa")
+    tracer.emit("bft.commit", 1.4, "node-0", digest="bb")
+    tracer.emit("req.logged", 1.5, "node-0", digest="bb", seq=1)
+    tracer.emit("bft.commit", 1.6, "node-0", digest="aa")
+    tracer.emit("req.logged", 1.7, "node-0", digest="aa", seq=2)
+    report = pair_request_spans(tracer.iter_events())
+    assert len(report.spans) == 2
+    by_digest = {span.digest: span for span in report.spans}
+    assert by_digest["bb"].end_to_end == pytest.approx(0.4)
+    assert by_digest["aa"].end_to_end == pytest.approx(0.7)
+    assert report.incomplete_count == 0
+
+
+def test_dropped_request_is_incomplete_never_raises():
+    tracer = RecordingTracer()
+    tracer.emit("bus.rx", 1.0, "node-0", digest="dead")   # never ordered
+    _lifecycle(tracer, "node-0", "aa", 2.0, 2.1, 2.2, 2.3)
+    report = pair_request_spans(tracer.iter_events())
+    assert len(report.spans) == 1
+    assert report.incomplete_count == 1
+    assert report.incomplete[0].digest == "dead"
+    with pytest.raises(ValueError):
+        report.incomplete[0].phases()
+
+
+def test_logged_without_rx_is_incomplete():
+    # A backup that missed the bus frame still logs via the quorum: its
+    # span lacks rx_t and must land in `incomplete`, not crash.
+    tracer = RecordingTracer()
+    tracer.emit("bft.commit", 1.0, "node-2", digest="aa")
+    tracer.emit("req.logged", 1.1, "node-2", digest="aa", seq=1)
+    report = pair_request_spans(tracer.iter_events())
+    assert report.spans == []
+    assert report.incomplete_count == 1
+
+
+def test_first_mark_wins_on_viewchange_reproposal():
+    tracer = RecordingTracer()
+    tracer.emit("bus.rx", 1.0, "node-0", digest="aa")
+    tracer.emit("bft.preprepare", 1.1, "node-0", digest="aa", view=0)
+    tracer.emit("bft.preprepare", 2.0, "node-0", digest="aa", view=1)  # re-proposed
+    tracer.emit("bft.commit", 2.2, "node-0", digest="aa")
+    tracer.emit("req.logged", 2.3, "node-0", digest="aa", seq=1)
+    report = pair_request_spans(tracer.iter_events())
+    (span,) = report.spans
+    assert span.preprepare_t == 1.1
+    assert sum(span.phases().values()) == pytest.approx(span.end_to_end, abs=1e-12)
+
+
+def test_node_filter_and_since_cutoff():
+    tracer = RecordingTracer()
+    _lifecycle(tracer, "node-0", "aa", 1.0, 1.1, 1.2, 1.3)
+    _lifecycle(tracer, "node-1", "aa", 1.0, 1.15, 1.25, 1.35)
+    _lifecycle(tracer, "node-0", "bb", 5.0, 5.1, 5.2, 5.3)
+    report = pair_request_spans(tracer.iter_events(), node="node-0", since=4.0)
+    assert [span.digest for span in report.spans] == ["bb"]
+    assert report.end_to_end.count == 1
+
+
+def test_malformed_digest_is_skipped():
+    tracer = RecordingTracer()
+    tracer.emit("bus.rx", 1.0, "node-0", digest=123)  # non-str digest field
+    tracer.emit("bus.rx", 1.0, "node-0")              # missing entirely
+    report = pair_request_spans(tracer.iter_events())
+    assert report.spans == [] and report.incomplete == []
+
+
+def test_phase_stats_aggregate_all_phases():
+    tracer = RecordingTracer()
+    _lifecycle(tracer, "node-0", "aa", 1.0, 1.1, 1.2, 1.3)
+    _lifecycle(tracer, "node-0", "bb", 2.0, 2.3, 2.4, 2.5)
+    report = pair_request_spans(tracer.iter_events())
+    assert set(report.phase_stats) == set(PHASES)
+    stats = report.phase_stats["rx->propose"]
+    assert stats.count == 2
+    assert stats.minimum == pytest.approx(0.1)
+    assert stats.maximum == pytest.approx(0.3)
+    assert stats.snapshot()["mean"] == pytest.approx(0.2)
+    assert report.end_to_end.count == 2
+
+
+def test_view_change_pairing_and_escalation():
+    tracer = RecordingTracer()
+    tracer.emit("bft.viewchange.start", 1.0, "node-1", new_view=1)
+    tracer.emit("bft.viewchange.start", 1.2, "node-1", new_view=2)  # escalation
+    tracer.emit("bft.viewchange.end", 1.5, "node-1", view=2)
+    tracer.emit("bft.viewchange.start", 3.0, "node-2", new_view=2)  # never ends
+    stalls = pair_view_changes(tracer.iter_events())
+    assert len(stalls) == 2
+    assert stalls[0].node == "node-1"
+    assert stalls[0].duration == pytest.approx(0.5)
+    assert stalls[1].duration is None

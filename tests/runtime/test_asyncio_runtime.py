@@ -150,3 +150,38 @@ def test_tcp_cluster_filters_duplicates():
             await cluster.stop()
 
     run(scenario())
+
+
+def test_tcp_bad_frame_moves_aggregated_cluster_counter():
+    """The cluster-level metrics fold surfaces transport-layer faults.
+
+    Closes the ROADMAP gap "nothing aggregates the env counters": a bad
+    frame observed by one node must show up in the single cluster-wide
+    registry, alongside the BFT/layer counters, without per-env spelunking.
+    """
+    async def scenario():
+        cluster = AsyncioCluster(make_node, n=4)
+        await cluster.start()
+        try:
+            before = cluster.aggregate_metrics().counter_values()
+            assert before.get("env.decode_errors", 0) == 0
+            env1 = cluster.hosted["node-1"].env
+            junk = b"\x00\x01\x02\x03"
+            env1._writers["node-0"].write(len(junk).to_bytes(4, "big") + junk)
+            cycles = 5
+            await _drive(cluster, cycles)
+            done = await _wait_until(
+                lambda: all(n.requests_logged >= cycles for n in cluster.nodes().values())
+            )
+            assert done, "cluster stalled after an undecodable frame"
+            after = cluster.aggregate_metrics().counter_values()
+            assert after["env.decode_errors"] == 1
+            assert after["env.oversize_frames"] == 0
+            # The same registry carries the protocol-level counters.
+            assert after["bft.decided"] >= cycles
+            assert after["layer.logged"] >= cycles * 4
+            assert after["env.messages_emitted"] > before.get("env.messages_emitted", 0)
+        finally:
+            await cluster.stop()
+
+    run(scenario())

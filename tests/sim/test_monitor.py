@@ -57,3 +57,35 @@ def test_latency_since_and_timeline():
     assert rec.timeline() == [(1.0, 0.010), (2.0, 0.020), (3.0, 0.030)]
     tail = rec.since(2.0)
     assert tail.samples == [0.020, 0.030]
+
+
+def test_after_and_since_bisect_boundaries():
+    # Cutoff views use bisect over the monotone time lists; boundary
+    # samples (exactly at the cutoff) must be included, like the old scan.
+    ts = TimeSeries()
+    rec = LatencyRecorder()
+    for t in [0.0, 1.0, 1.0, 2.0, 3.0]:
+        ts.record(t, t * 10)
+        rec.record(t, t / 100)
+    assert ts.after(1.0).times == [1.0, 1.0, 2.0, 3.0]
+    assert ts.after(1.5).times == [2.0, 3.0]
+    assert ts.after(9.0).times == []
+    assert ts.after(-1.0).times == ts.times
+    assert rec.since(1.0).times == [1.0, 1.0, 2.0, 3.0]
+    assert rec.since(9.0).samples == []
+    assert rec.since(-1.0).samples == rec.samples
+
+
+def test_after_matches_linear_scan_reference():
+    ts = TimeSeries()
+    rec = LatencyRecorder()
+    times = [i * 0.37 for i in range(200)]
+    for t in times:
+        ts.record(t, t)
+        rec.record(t, t * 2)
+    for cutoff in (0.0, 0.37, 10.0, 36.9, 73.63, 100.0):
+        expected = [t for t in times if t >= cutoff]
+        assert ts.after(cutoff).times == expected
+        tail = rec.since(cutoff)
+        assert tail.times == expected
+        assert tail.samples == [t * 2 for t in expected]
