@@ -157,6 +157,7 @@ class LinearBftReplica:
         on_decide: Callable[[SignedRequest, int], None],
         on_new_primary: Callable[[str], None] | None = None,
         on_stable_checkpoint: Callable[[CheckpointCertificate], None] | None = None,
+        on_preprepare_accepted: Callable[[bytes], None] | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         self.env = env
@@ -166,6 +167,7 @@ class LinearBftReplica:
         self._on_decide = on_decide
         self._on_new_primary = on_new_primary or (lambda pid: None)
         self._on_stable_checkpoint = on_stable_checkpoint or (lambda cert: None)
+        self._on_preprepare_accepted = on_preprepare_accepted or (lambda digest: None)
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.id = env.node_id
@@ -258,6 +260,7 @@ class LinearBftReplica:
                 view=self.view, seq=seq, digest=preprepare.digest.hex(),
             )
         # The primary's own vote.
+        self._on_preprepare_accepted(preprepare.digest)
         vote = Vote(view=self.view, seq=seq, digest=preprepare.digest,
                     replica_id=self.id).signed(self.keypair)
         instance.votes[self.id] = vote
@@ -316,6 +319,7 @@ class LinearBftReplica:
                 view=preprepare.view, seq=preprepare.seq,
                 digest=preprepare.digest.hex(),
             )
+        self._on_preprepare_accepted(preprepare.digest)
         vote = Vote(view=self.view, seq=preprepare.seq, digest=preprepare.digest,
                     replica_id=self.id).signed(self.keypair)
         self.env.send(self.primary_id, vote)
@@ -346,10 +350,14 @@ class LinearBftReplica:
         if cert.view != self.view or not self._in_watermarks(cert.seq):
             self.stats.stale_messages += 1
             return
-        instance = self._instance(cert.seq)
-        if instance.certified:
+        # Read-only lookup until the certificate verifies: an unverified
+        # cert must not allocate log state (a junk-flood would bloat
+        # ``_instances`` and skew log_size accounting).
+        instance = self._instances.get(cert.seq)
+        if instance is not None and instance.certified:
             return
-        if instance.preprepare is None or instance.preprepare.digest != cert.digest:
+        if instance is None or instance.preprepare is None \
+                or instance.preprepare.digest != cert.digest:
             # A certificate can outrun its preprepare only for Byzantine
             # primaries; without the request body we cannot execute.
             self.stats.stale_messages += 1

@@ -82,6 +82,7 @@ class PbftReplica:
         on_decide: Callable[[SignedRequest, int], None],
         on_new_primary: Callable[[str], None] | None = None,
         on_stable_checkpoint: Callable[[CheckpointCertificate], None] | None = None,
+        on_preprepare_accepted: Callable[[bytes], None] | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         self.env = env
@@ -91,6 +92,7 @@ class PbftReplica:
         self._on_decide = on_decide
         self._on_new_primary = on_new_primary or (lambda pid: None)
         self._on_stable_checkpoint = on_stable_checkpoint or (lambda cert: None)
+        self._on_preprepare_accepted = on_preprepare_accepted or (lambda digest: None)
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.id = env.node_id
@@ -270,6 +272,7 @@ class PbftReplica:
                 view=preprepare.view, seq=preprepare.seq,
                 digest=preprepare.digest.hex(),
             )
+        self._on_preprepare_accepted(preprepare.digest)
         # The primary's preprepare stands in for its prepare (PBFT rule).
         implicit = Prepare(
             view=preprepare.view, seq=preprepare.seq, digest=preprepare.digest,

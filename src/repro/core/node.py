@@ -67,6 +67,7 @@ class ZugChainNode:
             keystore=keystore,
             on_decide=self._decided,
             on_new_primary=self._new_primary,
+            on_preprepare_accepted=self._preprepare_accepted,
             tracer=self.tracer,
         )
         self.layer = ZugChainLayer(
@@ -155,13 +156,9 @@ class ZugChainNode:
         elif isinstance(message, StateRequest):
             self.statesync.handle_request(src, message)
         elif isinstance(message, StateReply):
-            self.statesync.handle_reply(src, message)
-            self.builder._pending.clear()  # checkpoint boundary == block boundary
+            if self.statesync.handle_reply(src, message):
+                self.builder._pending.clear()  # checkpoint boundary == block boundary
         elif isinstance(message, self.replica.MESSAGE_TYPES):
-            if isinstance(message, PrePrepare):
-                # §III-C optimization: a preprepare indicates the request
-                # will be ordered; cancel its soft timeout early.
-                self.layer.on_preprepare_observed(message.digest)
             if isinstance(message, Checkpoint):
                 # Lag detection: peers checkpointing far beyond our state.
                 self.statesync.observe_checkpoint(src, message)
@@ -173,6 +170,13 @@ class ZugChainNode:
 
     def _decided(self, signed: SignedRequest, seq: int) -> None:
         self.layer.on_decide(signed, seq)
+
+    def _preprepare_accepted(self, digest: bytes) -> None:
+        # §III-C optimization: a preprepare indicates the request will be
+        # ordered; cancel its soft timeout early.  The replica invokes this
+        # only after the preprepare's signatures checked out — an attacker
+        # must not be able to suppress forwarding with a forged preprepare.
+        self.layer.on_preprepare_observed(digest)
 
     def _log(self, signed: SignedRequest, seq: int) -> None:
         received = self._recv_times.pop(signed.digest, None)

@@ -177,6 +177,11 @@ class StateSync:
         """
         if checkpoint.block_height <= self.chain.height + self.lag_blocks:
             return
+        # Only a verified member checkpoint may count as a voucher: the
+        # f+1 rule below is meaningless if a non-member (or a forger) can
+        # populate the vouching map.
+        if not self.bft_config.is_member(src) or not checkpoint.verify(self.keystore):
+            return
         self._observed_ahead[src] = max(self._observed_ahead.get(src, 0),
                                         checkpoint.block_height)
         vouching = [peer for peer, height in self._observed_ahead.items()
@@ -217,22 +222,29 @@ class StateSync:
 
     # -- applying ---------------------------------------------------------------------
 
-    def handle_reply(self, src: str, reply: StateReply) -> None:
-        self._sync_in_flight = False
+    def handle_reply(self, src: str, reply: StateReply) -> bool:
+        """Apply one state reply; returns True when the chain advanced.
+
+        The signature checks run before *any* state is touched: a forged
+        reply must not clear the in-flight latch (stalling or re-arming a
+        genuine sync) and must not reach the chain-adoption path.
+        """
         if not reply.verify(self.keystore):
             self.syncs_rejected += 1
-            return
+            return False
         if not reply.checkpoint.verify(self.keystore, self.bft_config):
             self.syncs_rejected += 1
-            return
+            return False
+        self._sync_in_flight = False
         if reply.checkpoint.block_height <= self.chain.height:
-            return  # stale: the chain already covers this checkpoint
+            return False  # stale: the chain already covers this checkpoint
         try:
             self._apply(reply)
         except ChainError:
             self.syncs_rejected += 1
-            return
+            return False
         self.syncs_completed += 1
+        return True
 
     def _apply(self, reply: StateReply) -> None:
         blocks = sorted(reply.blocks, key=lambda b: b.height)

@@ -33,8 +33,10 @@ from repro.lint.engine import (
     rule_for_code,
 )
 
-# Importing the rule modules registers every shipped rule.
+# Importing the rule modules registers every shipped rule (the flow
+# package carries the interprocedural FLOW001-FLOW004 stage).
 import repro.lint.rules  # noqa: E402,F401  (import for side effect)
+import repro.lint.flow  # noqa: E402,F401  (import for side effect)
 
 __all__ = [
     "FileContext",

@@ -5,6 +5,7 @@ Usage::
     python -m repro.lint src/ tests/            # lint trees
     python -m repro.lint --list-rules           # show every rule code
     python -m repro.lint --format json src/     # machine output
+    python -m repro.lint --format sarif --output lint.sarif src/
     python -m repro.lint --select DET001 src/   # run a subset
     python -m repro.lint --write-baseline src/  # absorb current findings
 
@@ -46,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(REPORTERS),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the rendered report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -112,7 +118,13 @@ def main(argv: list[str] | None = None, stream: IO[str] | None = None) -> int:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    REPORTERS[args.format](findings, out)
+    reporter = REPORTERS[args.format]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as sink:
+            reporter(findings, sink)
+        print(f"zuglint: wrote {args.format} report to {args.output}", file=out)
+    else:
+        reporter(findings, out)
     return EXIT_FINDINGS if findings else EXIT_CLEAN
 
 

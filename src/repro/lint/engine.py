@@ -33,17 +33,27 @@ class LintError(Exception):
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a specific location."""
+    """One rule violation at a specific location.
+
+    ``anchor`` is an optional structural identity (e.g. a dotted function
+    path like ``repro.core.node:ZugChainNode.handle_message``).  Rules that
+    set it get fingerprints that survive unrelated-line insertion and file
+    reordering; rules that leave it ``None`` keep the historical
+    line-number fingerprint.
+    """
 
     code: str
     message: str
     path: str
     line: int
     col: int = 0
+    anchor: str | None = None
 
     @property
     def fingerprint(self) -> str:
         """Stable identity used by baseline files."""
+        if self.anchor is not None:
+            return f"{self.path}::{self.code}::{self.anchor}"
         return f"{self.path}::{self.code}::{self.line}"
 
     def render(self) -> str:
@@ -136,9 +146,15 @@ def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
 
 @dataclass
 class Project:
-    """All files of one lint run, for cross-module rules."""
+    """All files of one lint run, for cross-module rules.
+
+    ``cache`` lets expensive cross-module analyses (the flow pass builds a
+    call graph and fixpoint summaries) run once per lint invocation and be
+    shared by every rule that needs them.
+    """
 
     files: list[FileContext]
+    cache: dict = field(default_factory=dict)
 
     def by_module(self, module: str) -> FileContext | None:
         for ctx in self.files:

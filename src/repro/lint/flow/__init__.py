@@ -1,0 +1,23 @@
+"""repro.lint.flow — the interprocedural analysis stage.
+
+Layered on the PR-1 ``Project``/``Rule`` engine: :mod:`callgraph` builds
+a name-resolved project call graph, :mod:`summaries` computes
+per-function summaries and runs the worklist taint/guard fixpoint, and
+:mod:`rules`/:mod:`sizes` turn the results into the FLOW001–FLOW004
+rule families.  Importing this package registers all four rules.
+"""
+
+from repro.lint.flow.callgraph import CallGraph, build_call_graph
+from repro.lint.flow.summaries import FlowAnalysis, FunctionSummary, flow_analysis
+
+# Importing the rule modules registers FLOW001-FLOW004.
+import repro.lint.flow.rules  # noqa: E402,F401  (import for side effect)
+import repro.lint.flow.sizes  # noqa: E402,F401  (import for side effect)
+
+__all__ = [
+    "CallGraph",
+    "FlowAnalysis",
+    "FunctionSummary",
+    "build_call_graph",
+    "flow_analysis",
+]

@@ -1,0 +1,280 @@
+"""FLOW001–FLOW003 — interprocedural rules built on the flow analysis.
+
+* **FLOW001** nondeterminism taint: wall-clock / ambient-RNG / ``id()`` /
+  set-iteration-order values reaching hash, codec, emission, or
+  replica-state sinks through any call depth — the interprocedural
+  closure of DET001–DET004.
+* **FLOW002** verify-before-mutate: a dispatcher-fed handler path that
+  writes protocol state before the message's ``verify(...)`` /
+  ``is_member(...)`` guards (must-analysis; cf. the guard idiom in
+  ``repro.bft.replica._on_preprepare``).
+* **FLOW003** handler coverage: every registered wire tag is reachable
+  from some backend's dispatch set (directly or through the decode
+  closure), and every dispatched codec class has a wire tag — the
+  cross-module dual of PROTO001.
+
+All three set :attr:`Finding.anchor` to a structural identity (function
+key or class name) so baselines survive unrelated-line insertion and
+file reordering.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import Finding, Project, Rule, register_rule
+from repro.lint.flow.callgraph import CallGraph, build_call_graph
+from repro.lint.flow.summaries import (
+    flow_analysis,
+    gate_violations,
+    taint_exempt_module,
+    taint_findings,
+)
+from repro.lint.rules.protocol import _HANDLER_NAME_RE, _registrations
+
+_MESSAGE_TYPES_RE = re.compile(r"MESSAGE_TYPES")
+
+
+@register_rule
+class InterproceduralTaintRule(Rule):
+    code = "FLOW001"
+    name = "nondeterminism-taint"
+    description = (
+        "a wall-clock, ambient-RNG, id(), or set-iteration-order value "
+        "flows (through any call depth) into a hash, codec, emission, or "
+        "replica-state sink — replicas would diverge on identical input"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = flow_analysis(project)
+        for key in sorted(analysis.graph.functions):
+            fn = analysis.graph.functions[key]
+            if not fn.module.startswith("repro.") or taint_exempt_module(fn.module):
+                continue
+            for found in taint_findings(analysis, fn):
+                yield Finding(
+                    code=self.code,
+                    message=f"{found.message} (in {fn.key})",
+                    path=fn.path,
+                    line=getattr(found.node, "lineno", fn.node.lineno),
+                    col=getattr(found.node, "col_offset", 0),
+                    anchor=f"{fn.key}#{found.sink}",
+                )
+
+
+@register_rule
+class VerifyBeforeMutateRule(Rule):
+    code = "FLOW002"
+    name = "verify-before-mutate"
+    description = (
+        "a handler reachable from a message dispatcher mutates protocol "
+        "state before any verify()/is_member() guard has run — unverified "
+        "input can corrupt replica, chain, or export state"
+    )
+    scope = "project"
+
+    #: Packages holding protocol state machines; runtime/sim/obs mutate
+    #: their own bookkeeping freely and are out of scope.
+    _PREFIXES = ("repro.bft", "repro.core", "repro.export", "repro.chain", "repro.wire")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = flow_analysis(project)
+        for key in sorted(analysis.entry_points):
+            fn = analysis.graph.functions.get(key)
+            if fn is None or not fn.module.startswith(self._PREFIXES):
+                continue
+            for violation in gate_violations(analysis, fn):
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"handler {fn.key} {violation.message}; run the "
+                        "signature/membership checks first"
+                    ),
+                    path=fn.path,
+                    line=getattr(violation.node, "lineno", fn.node.lineno),
+                    col=getattr(violation.node, "col_offset", 0),
+                    anchor=f"{fn.key}#{violation.target}",
+                )
+
+
+def _wire_message_classes(graph: CallGraph) -> set[str]:
+    """Class keys of repro.* classes defining both encode and decode."""
+    return {
+        key for key, cls in graph.classes.items()
+        if cls.module.startswith("repro.")
+        and {"encode", "decode"} <= cls.methods.keys()
+    }
+
+
+def _consumed_classes(project: Project, graph: CallGraph) -> dict[str, tuple[str, int]]:
+    """Class keys dispatched on, mapped to (path, line) of first evidence.
+
+    Evidence is a ``*MESSAGE_TYPES*`` tuple or an ``isinstance`` test in a
+    handler-named function.
+    """
+    consumed: dict[str, tuple[str, int]] = {}
+
+    def note(class_key: str | None, ctx_path: str, lineno: int) -> None:
+        if class_key is not None and class_key not in consumed:
+            consumed[class_key] = (ctx_path, lineno)
+
+    for ctx in project.files:
+        if not ctx.module.startswith("repro."):
+            continue
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                names = [
+                    t.id if isinstance(t, ast.Name) else t.attr
+                    for t in node.targets
+                    if isinstance(t, (ast.Name, ast.Attribute))
+                ]
+                if not any(_MESSAGE_TYPES_RE.search(n) for n in names):
+                    continue
+                if isinstance(node.value, (ast.Tuple, ast.List)):
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Name):
+                            note(graph.resolve_class(ctx.module, element.id),
+                                 ctx.path, element.lineno)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2):
+                # Only isinstance tests inside handler-named functions count.
+                parent_fn = _enclosing_function(ctx, node)
+                if parent_fn is None or not _HANDLER_NAME_RE.search(parent_fn.name):
+                    continue
+                targets = node.args[1]
+                elements = (
+                    targets.elts if isinstance(targets, (ast.Tuple, ast.List))
+                    else [targets]
+                )
+                for element in elements:
+                    if isinstance(element, ast.Name):
+                        note(graph.resolve_class(ctx.module, element.id),
+                             ctx.path, element.lineno)
+    return consumed
+
+
+def _enclosing_function(ctx, node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    current = ctx.parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = ctx.parents.get(current)
+    return None
+
+
+def _decode_closure(graph: CallGraph, roots: set[str]) -> set[str]:
+    """Classes reachable from ``roots`` through decode-method bodies.
+
+    ``StateReply.decode`` calling ``Block.decode`` (possibly inside a
+    ``get_list`` lambda) makes ``Block`` reachable: its tag is justified
+    even though no dispatcher tests ``isinstance(msg, Block)``.
+    """
+    reachable = set(roots)
+    worklist = list(roots)
+    while worklist:
+        class_key = worklist.pop()
+        cls = graph.classes.get(class_key)
+        if cls is None or "decode" not in cls.methods:
+            continue
+        # Chase same-class helpers (``decode`` delegating to ``read_from``)
+        # so nested ``X.decode`` calls are found wherever they live.
+        methods = ["decode"]
+        seen_methods = {"decode"}
+        while methods:
+            fn = graph.functions.get(cls.methods.get(methods.pop(), ""))
+            if fn is None:
+                continue
+            for node in ast.walk(fn.node):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)):
+                    continue
+                receiver, attr = node.func.value.id, node.func.attr
+                if receiver in ("cls", "self", cls.name) and attr in cls.methods \
+                        and attr not in seen_methods:
+                    seen_methods.add(attr)
+                    methods.append(attr)
+                    continue
+                if attr != "decode":
+                    continue
+                target = graph.resolve_class(cls.module, receiver)
+                if target is not None and target not in reachable:
+                    reachable.add(target)
+                    worklist.append(target)
+    return reachable
+
+
+@register_rule
+class HandlerCoverageRule(Rule):
+    code = "FLOW003"
+    name = "handler-coverage"
+    description = (
+        "wire-registry/dispatch mismatch: a codec class some handler "
+        "dispatches on has no wire tag (it cannot arrive off the wire), or "
+        "a registered tag is unreachable from every dispatch set and "
+        "decode closure (dead tag, or a missing handler branch)"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = build_call_graph(project)
+        registered: dict[str, tuple[int | None, str, int, str]] = {}
+        for ctx in project.files:
+            if not ctx.module.startswith("repro."):
+                continue
+            for tag, name, lineno in _registrations(ctx):
+                registered.setdefault(name, (tag, ctx.path, lineno, ctx.module))
+        consumed = _consumed_classes(project, graph)
+        if not registered or not consumed:
+            # Partial invocations (single files, synthetic crates without a
+            # registry) can't make coverage claims; stay silent.
+            return
+        wire_classes = _wire_message_classes(graph)
+        registered_keys = {
+            graph.resolve_class(module, name): name
+            for name, (_tag, _path, _line, module) in registered.items()
+        }
+        registered_keys.pop(None, None)
+
+        for class_key in sorted(consumed):
+            if class_key not in wire_classes:
+                continue
+            if class_key in registered_keys:
+                continue
+            cls = graph.classes[class_key]
+            path, line = consumed[class_key]
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"handler dispatches on {cls.name} ({cls.module}) but it is "
+                    "never registered with a wire tag — it can never arrive "
+                    "off the wire"
+                ),
+                path=path,
+                line=line,
+                anchor=f"dispatched-unregistered:{cls.module}.{cls.name}",
+            )
+
+        reachable = _decode_closure(graph, set(consumed))
+        for class_key in sorted(registered_keys):
+            name = registered_keys[class_key]
+            if class_key in reachable:
+                continue
+            tag, path, line, _module = registered[name]
+            tag_text = f"tag {tag}" if tag is not None else "a wire tag"
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"{tag_text} registers {name} but no dispatcher tests for it "
+                    "and no reachable decode body constructs it — dead tag or "
+                    "missing handler branch"
+                ),
+                path=path,
+                line=line,
+                anchor=f"registered-unreachable:{name}",
+            )

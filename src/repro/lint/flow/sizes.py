@@ -1,0 +1,292 @@
+"""FLOW004 — symbolic ``encoded_size`` checking against the codec layout.
+
+PROTO005 flags literal arithmetic *inside* ``encoded_size()`` bodies, so
+the obvious evasion is to spread the arithmetic across helper methods
+(``return self._header_size() + self._body_size()``).  This rule closes
+that hole: it derives the field layout from the ``encode()`` body
+(``put_uint`` → variable-width varint, ``put_fixed(x, N)`` → ``N``
+constant bytes, ``put_bytes``/``put_str``/``put_list`` → variable) and
+symbolically evaluates the ``encoded_size()`` expression with resolved
+self-helpers inlined and module constants substituted.
+
+Verdicts:
+
+* size derived from the codec (``len(self.encode())`` or
+  ``len(encode_message(self))``) — always clean;
+* layout has variable-width fields but the size evaluates to a pure
+  constant — finding (the constant cannot track payload sizes);
+* layout is all-constant with total ``T`` and the size evaluates to a
+  constant ``C != T`` — finding with both numbers;
+* the expression mixes integer-literal arithmetic with calls the
+  analysis cannot evaluate — finding (helper-composed hand arithmetic
+  is exactly what drifts; derive from the codec instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.engine import Finding, Project, Rule, register_rule
+from repro.lint.flow.callgraph import CallGraph, ClassInfo, FunctionInfo, build_call_graph
+
+#: Writer calls producing a constant number of bytes (second arg).
+_FIXED_PUTS = {"put_fixed"}
+#: Writer calls producing a known 1-byte field.
+_BYTE_PUTS = {"put_bool"}
+#: Writer calls whose width depends on the value (varint or payload).
+_VARIABLE_PUTS = {"put_uint", "put_bytes", "put_str", "put_list"}
+
+_MAX_INLINE_DEPTH = 6
+
+
+@dataclass
+class Layout:
+    """What one ``encode()`` body writes."""
+
+    const_bytes: int = 0
+    variable_fields: int = 0
+    opaque: bool = False   # delegated/unrecognized encode; no layout claim
+
+
+@dataclass
+class SizeValue:
+    """Symbolic value of an ``encoded_size`` expression."""
+
+    const: int | None      # integer value when fully evaluated
+    variable: bool         # depends on payload width (len(), varints, sums)
+    unknown: bool          # contains calls the analysis cannot evaluate
+    literal_arith: bool    # integer-literal arithmetic appears somewhere
+
+    @staticmethod
+    def constant(value: int, literal: bool = False) -> "SizeValue":
+        return SizeValue(const=value, variable=False, unknown=False, literal_arith=literal)
+
+    @staticmethod
+    def var() -> "SizeValue":
+        return SizeValue(const=None, variable=True, unknown=False, literal_arith=False)
+
+    @staticmethod
+    def opaque() -> "SizeValue":
+        return SizeValue(const=None, variable=False, unknown=True, literal_arith=False)
+
+    def combine(self, other: "SizeValue", const: int | None) -> "SizeValue":
+        return SizeValue(
+            const=const,
+            variable=self.variable or other.variable,
+            unknown=self.unknown or other.unknown,
+            literal_arith=self.literal_arith or other.literal_arith,
+        )
+
+
+def _encode_layout(graph: CallGraph, cls: ClassInfo, fn: FunctionInfo,
+                   depth: int = 0) -> Layout:
+    """Field layout written by ``encode`` (helpers inlined, depth-limited)."""
+    layout = Layout()
+    if depth > _MAX_INLINE_DEPTH:
+        layout.opaque = True
+        return layout
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        method = func.attr
+        if method in _VARIABLE_PUTS:
+            layout.variable_fields += 1
+        elif method in _BYTE_PUTS:
+            layout.const_bytes += 1
+        elif method in _FIXED_PUTS:
+            if len(node.args) >= 2:
+                width = _int_of(graph, fn.module, node.args[1])
+                if width is None:
+                    layout.opaque = True
+                else:
+                    layout.const_bytes += width
+        elif (isinstance(func.value, ast.Name) and func.value.id == "self"):
+            helper = graph.method_on(cls.key, method)
+            if helper is not None and helper.name not in ("encode", "encoded_size"):
+                sub = _encode_layout(graph, cls, helper, depth + 1)
+                layout.const_bytes += sub.const_bytes
+                layout.variable_fields += sub.variable_fields
+                layout.opaque = layout.opaque or sub.opaque
+        elif method == "encode":
+            # Nested message encodes are variable-width payloads.
+            layout.variable_fields += 1
+    return layout
+
+
+def _int_of(graph: CallGraph, module: str, node: ast.AST) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.Name):
+        return graph.resolve_int_constant(module, node.id)
+    return None
+
+
+def _is_codec_derived(fn: FunctionInfo) -> bool:
+    """``return len(self.encode())`` / ``return len(encode_message(self))``."""
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id == "len" and len(value.args) == 1):
+            continue
+        inner = value.args[0]
+        if isinstance(inner, ast.Call):
+            name = inner.func
+            if isinstance(name, ast.Attribute) and name.attr == "encode":
+                return True
+            if isinstance(name, ast.Name) and "encode" in name.id:
+                return True
+    return False
+
+
+class _SizeEvaluator:
+    """Symbolic evaluation of a size expression with helper inlining."""
+
+    def __init__(self, graph: CallGraph, cls: ClassInfo) -> None:
+        self.graph = graph
+        self.cls = cls
+
+    def eval_function(self, fn: FunctionInfo, depth: int = 0) -> SizeValue:
+        if depth > _MAX_INLINE_DEPTH:
+            return SizeValue.opaque()
+        result: SizeValue | None = None
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                value = self.eval(node.value, fn, depth)
+                result = value if result is None else result.combine(
+                    value, None if result.const != value.const else value.const
+                )
+        return result if result is not None else SizeValue.opaque()
+
+    def eval(self, node: ast.AST, fn: FunctionInfo, depth: int) -> SizeValue:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) and not isinstance(node.value, bool):
+                return SizeValue.constant(node.value)
+            return SizeValue.opaque()
+        if isinstance(node, ast.Name):
+            value = self.graph.resolve_int_constant(fn.module, node.id)
+            if value is not None:
+                return SizeValue.constant(value)
+            return SizeValue.opaque()
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mult)):
+            left = self.eval(node.left, fn, depth)
+            right = self.eval(node.right, fn, depth)
+            const: int | None = None
+            if left.const is not None and right.const is not None:
+                if isinstance(node.op, ast.Add):
+                    const = left.const + right.const
+                elif isinstance(node.op, ast.Sub):
+                    const = left.const - right.const
+                else:
+                    const = left.const * right.const
+            literal = (isinstance(node.left, ast.Constant)
+                       or isinstance(node.right, ast.Constant))
+            combined = left.combine(right, const)
+            if literal:
+                combined.literal_arith = True
+            return combined
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, fn, depth)
+        if isinstance(node, ast.IfExp):
+            left = self.eval(node.body, fn, depth)
+            right = self.eval(node.orelse, fn, depth)
+            const = left.const if left.const == right.const else None
+            return left.combine(right, const)
+        return SizeValue.opaque()
+
+    def _eval_call(self, call: ast.Call, fn: FunctionInfo, depth: int) -> SizeValue:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "len":
+                return SizeValue.var()
+            if func.id == "sum":
+                return SizeValue.var()
+            if "varint" in func.id or "size" in func.id:
+                # varint_size(x)-style width helpers are payload-dependent.
+                return SizeValue.var()
+            return SizeValue.opaque()
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+                and func.value.id == "self":
+            if func.attr == "encoded_size":
+                return SizeValue.opaque()
+            helper = self.graph.method_on(self.cls.key, func.attr)
+            if helper is not None:
+                return self.eval_function(helper, depth + 1)
+        return SizeValue.opaque()
+
+
+@register_rule
+class SummedEncodedSizeRule(Rule):
+    code = "FLOW004"
+    name = "summed-encoded-size"
+    description = (
+        "encoded_size() disagrees with the encode() field layout when "
+        "helper methods are inlined and constants substituted — the "
+        "interprocedural closure of PROTO005; derive the size from "
+        "len(self.encode()) instead of hand-maintained arithmetic"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = build_call_graph(project)
+        for class_key in sorted(graph.classes):
+            cls = graph.classes[class_key]
+            if not cls.module.startswith("repro."):
+                continue
+            encode_key = cls.methods.get("encode")
+            sizer_key = cls.methods.get("encoded_size")
+            if encode_key is None or sizer_key is None:
+                continue
+            encode_fn = graph.functions.get(encode_key)
+            sizer_fn = graph.functions.get(sizer_key)
+            if encode_fn is None or sizer_fn is None:
+                continue
+            if _is_codec_derived(sizer_fn):
+                continue
+            layout = _encode_layout(graph, cls, encode_fn)
+            size = _SizeEvaluator(graph, cls).eval_function(sizer_fn)
+            message = self._verdict(cls, layout, size)
+            if message is None:
+                continue
+            yield Finding(
+                code=self.code,
+                message=message,
+                path=cls.path,
+                line=sizer_fn.node.lineno,
+                col=sizer_fn.node.col_offset,
+                anchor=f"{cls.module}.{cls.name}.encoded_size",
+            )
+
+    @staticmethod
+    def _verdict(cls: ClassInfo, layout: Layout, size: SizeValue) -> str | None:
+        if size.const is not None and not size.variable and not size.unknown:
+            if layout.variable_fields and not layout.opaque:
+                return (
+                    f"{cls.name}.encoded_size() evaluates to the constant "
+                    f"{size.const} but encode() writes "
+                    f"{layout.variable_fields} variable-width field(s); the "
+                    "size cannot track payloads — derive it from len(self.encode())"
+                )
+            if not layout.opaque and not layout.variable_fields \
+                    and size.const != layout.const_bytes:
+                return (
+                    f"{cls.name}.encoded_size() evaluates to {size.const} but "
+                    f"encode() writes exactly {layout.const_bytes} bytes; the "
+                    "helper-composed arithmetic has drifted from the codec"
+                )
+            return None
+        if size.unknown and size.literal_arith:
+            return (
+                f"{cls.name}.encoded_size() mixes integer-literal arithmetic "
+                "with calls the analysis cannot evaluate; hand-maintained "
+                "size formulas drift silently — derive from len(self.encode())"
+            )
+        return None

@@ -1,4 +1,4 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
@@ -43,9 +43,72 @@ def report_json(findings: list[Finding], stream: IO[str]) -> None:
     stream.write("\n")
 
 
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def report_sarif(findings: list[Finding], stream: IO[str]) -> None:
+    """SARIF 2.1.0 document for code-scanning upload (GitHub et al.).
+
+    Every result carries ``partialFingerprints["zuglint/fingerprint"]`` —
+    the same anchor-based fingerprint the baseline machinery uses — so
+    consumers dedupe findings across line-shifting edits exactly like the
+    local baseline does.
+    """
+    rules_meta = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"zuglint/fingerprint": finding.fingerprint},
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "zuglint",
+                        "rules": rules_meta,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    json.dump(document, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
 def describe_rules(stream: IO[str]) -> None:
     for rule in all_rules():
         stream.write(f"{rule.code}  {rule.name}\n    {rule.description}\n")
 
 
-REPORTERS = {"text": report_text, "json": report_json}
+REPORTERS = {"text": report_text, "json": report_json, "sarif": report_sarif}

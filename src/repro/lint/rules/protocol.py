@@ -44,24 +44,96 @@ def _codec_classes(ctx: FileContext) -> Iterator[ast.ClassDef]:
             yield node
 
 
+def _dict_table_entries(value: ast.Dict) -> list[tuple[int | None, str, int]]:
+    entries: list[tuple[int | None, str, int]] = []
+    for key, val in zip(value.keys, value.values):
+        tag = key.value if isinstance(key, ast.Constant) and isinstance(key.value, int) else None
+        name = terminal_name(val)
+        if name is not None:
+            entries.append((tag, name, (key or val).lineno))
+    return entries
+
+
+def _items_receiver(node: ast.expr) -> str | None:
+    """Name ``T`` when ``node`` is the expression ``T.items()``."""
+    if (
+        isinstance(node, ast.Call)
+        and not node.args
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "items"
+        and isinstance(node.func.value, ast.Name)
+    ):
+        return node.func.value.id
+    return None
+
+
+def _registration_driven_tables(tree: ast.Module) -> tuple[set[str], set[int]]:
+    """Dict tables consumed by a ``register_message_type`` loop/comprehension.
+
+    Recognizes the driven-registration idiom::
+
+        for tag, cls in TABLE.items():
+            register_message_type(tag, cls)
+
+    and its comprehension form, for *any* table name.  A table that is
+    merely defined but never fed to the registrar yields no facts (no junk
+    entries from unrelated dicts of classes).  Returns the consumed table
+    names plus the ids of the register calls inside those loops, so the
+    direct-call scan does not re-yield them with loop-variable "classes".
+    """
+    consumed: set[str] = set()
+    driven_calls: set[int] = set()
+
+    def _register_calls(node: ast.AST) -> list[ast.Call]:
+        return [
+            sub for sub in ast.walk(node)
+            if isinstance(sub, ast.Call) and terminal_name(sub.func) == _REGISTER_FUNC
+        ]
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            table = _items_receiver(node.iter)
+            if table is None:
+                continue
+            calls = [call for stmt in node.body for call in _register_calls(stmt)]
+            if calls:
+                consumed.add(table)
+                driven_calls.update(id(call) for call in calls)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            calls = _register_calls(node.elt)
+            if not calls:
+                continue
+            for gen in node.generators:
+                table = _items_receiver(gen.iter)
+                if table is not None:
+                    consumed.add(table)
+                    driven_calls.update(id(call) for call in calls)
+    return consumed, driven_calls
+
+
 def _registrations(ctx: FileContext) -> Iterator[tuple[int | None, str, int]]:
     """Yield ``(tag, class_name, lineno)`` registration facts in one file.
 
-    Facts come from literal ``WIRE_TAGS = {tag: Class}`` tables and direct
-    ``register_message_type(tag, Class)`` calls; dynamic registrations
-    (computed tags, aliased classes) are invisible to static analysis and
-    intentionally ignored.
+    Facts come from three statically visible shapes:
+
+    - the canonical literal ``WIRE_TAGS = {tag: Class}`` table,
+    - any dict-literal table consumed by a ``register_message_type``
+      loop or comprehension over ``TABLE.items()``,
+    - direct ``register_message_type(tag, Class)`` calls.
+
+    Registrations computed beyond that (tags from expressions, classes
+    behind aliases) are invisible to static analysis and intentionally
+    ignored.
     """
+    driven, driven_calls = _registration_driven_tables(ctx.tree)
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Assign):
             targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if _TAG_TABLE_NAME in targets and isinstance(node.value, ast.Dict):
-                for key, value in zip(node.value.keys, node.value.values):
-                    tag = key.value if isinstance(key, ast.Constant) and isinstance(key.value, int) else None
-                    name = terminal_name(value)
-                    if name is not None:
-                        yield tag, name, (key or value).lineno
-        elif isinstance(node, ast.Call):
+            if not isinstance(node.value, ast.Dict):
+                continue
+            if _TAG_TABLE_NAME in targets or any(t in driven for t in targets):
+                yield from _dict_table_entries(node.value)
+        elif isinstance(node, ast.Call) and id(node) not in driven_calls:
             callee = terminal_name(node.func)
             if callee == _REGISTER_FUNC and len(node.args) >= 2:
                 tag_node, cls_node = node.args[0], node.args[1]

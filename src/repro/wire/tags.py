@@ -8,6 +8,7 @@ never renumber, only append.
 
 from repro.bft.checkpoint import CheckpointCertificate
 from repro.bft.client import ClientRequestWrapper, Reply
+from repro.bft.linear import CommitCert, Vote
 from repro.bft.messages import (
     Checkpoint,
     Commit,
@@ -43,6 +44,8 @@ WIRE_TAGS = {
     15: NewView,
     16: CheckpointCertificate,
     17: PreparedProof,
+    18: Vote,
+    19: CommitCert,
     20: ClientRequestWrapper,
     21: Reply,
     30: ZugBroadcast,

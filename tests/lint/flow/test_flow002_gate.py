@@ -1,0 +1,123 @@
+"""FLOW002: verify-before-mutate over dispatcher-fed handlers."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(sources, select=("FLOW002",)):
+    return lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        select=list(select),
+    )
+
+
+# The seeded evasion crate: a backend whose dispatcher routes untrusted
+# messages into handlers; one handler writes the log before verifying.
+BACKEND = """
+class Ping:
+    pass
+
+class Pong:
+    pass
+
+class Backend:
+    def on_message(self, src, message):
+        if isinstance(message, Ping):
+            self._on_ping(src, message)
+        elif isinstance(message, Pong):
+            self._on_pong(src, message)
+
+    def _on_ping(self, src, message):
+        self._seen[message.seq] = message
+        if not message.verify(self.keystore):
+            return
+
+    def _on_pong(self, src, message):
+        if not message.verify(self.keystore):
+            self.rejected += 1
+            return
+        self._seen[message.seq] = message
+"""
+
+
+def test_mutate_before_verify_handler_is_flagged():
+    findings = run({"src/repro/bft/crate.py": BACKEND})
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.code == "FLOW002"
+    assert "_on_ping" in finding.message
+    assert "self._seen" in finding.message
+    assert finding.anchor == "repro.bft.crate:Backend._on_ping#self._seen"
+
+
+def test_rejection_bookkeeping_in_guard_branch_is_allowed():
+    # _on_pong increments self.rejected inside the verify-failure branch;
+    # a guard in the if-test marks both branches verified.
+    findings = run({"src/repro/bft/crate.py": BACKEND})
+    assert all("_on_pong" not in finding.message for finding in findings)
+
+
+def test_same_crate_out_of_scope_in_sim_module():
+    assert run({"src/repro/sim/crate.py": BACKEND}) == []
+
+
+def test_unresolved_mutating_method_before_guard():
+    crate = {
+        "src/repro/core/queuebackend.py": """
+        class Note:
+            pass
+
+        class Other:
+            pass
+
+        class Keeper:
+            def handle_message(self, src, message):
+                if isinstance(message, Note):
+                    self._on_note(src, message)
+                elif isinstance(message, Other):
+                    self._on_other(src, message)
+
+            def _on_note(self, src, message):
+                self._queue.append(message)
+                if not message.verify(self.keystore):
+                    return
+
+            def _on_other(self, src, message):
+                if not message.verify(self.keystore):
+                    return
+                self._queue.append(message)
+        """,
+    }
+    findings = run(crate)
+    assert len(findings) == 1
+    assert "self._queue.append" in findings[0].message
+    assert "_on_note" in findings[0].message
+
+
+def test_verify_through_resolved_callee_counts_as_guard():
+    crate = {
+        "src/repro/bft/admit.py": """
+        class Ask:
+            pass
+
+        class Tell:
+            pass
+
+        class Gate:
+            def on_message(self, src, message):
+                if isinstance(message, Ask):
+                    self._on_ask(src, message)
+                elif isinstance(message, Tell):
+                    self._on_ask(src, message)
+
+            def _on_ask(self, src, message):
+                if not self._admit(message):
+                    return
+                self._seen[message.seq] = message
+
+            def _admit(self, message):
+                return message.verify(self.keystore)
+        """,
+    }
+    assert run(crate) == []

@@ -1,0 +1,159 @@
+"""FLOW003: wire-registry vs dispatch-set coverage (PROTO001's dual)."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(sources, select=("FLOW003",)):
+    return lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        select=list(select),
+    )
+
+
+MESSAGES = """
+class Ping:
+    def encode(self):
+        return b""
+
+    @classmethod
+    def decode(cls, data):
+        return cls()
+
+class Pong:
+    def encode(self):
+        return b""
+
+    @classmethod
+    def decode(cls, data):
+        return cls()
+
+class Loose:
+    def encode(self):
+        return b""
+
+    @classmethod
+    def decode(cls, data):
+        return cls()
+"""
+
+REGISTRY = """
+from repro.wire.registry import register_message_type
+from repro.core.cratemsgs import Ping, Pong
+
+WIRE_TAGS = {
+    1: Ping,
+    2: Pong,
+}
+
+for _tag, _cls in WIRE_TAGS.items():
+    register_message_type(_tag, _cls)
+"""
+
+HANDLER = """
+from repro.core.cratemsgs import Ping, Pong, Loose
+
+class Backend:
+    def handle_message(self, src, message):
+        if isinstance(message, Ping):
+            return 1
+        if isinstance(message, Loose):
+            return 2
+"""
+
+
+def crate(handler=HANDLER, registry=REGISTRY, messages=MESSAGES):
+    return {
+        "src/repro/core/cratemsgs.py": messages,
+        "src/repro/wire/cratetags.py": registry,
+        "src/repro/core/cratebackend.py": handler,
+    }
+
+
+def test_dispatched_but_unregistered_and_dead_tag_are_both_found():
+    findings = run(crate())
+    assert len(findings) == 2
+    by_anchor = {finding.anchor: finding for finding in findings}
+    unregistered = by_anchor["dispatched-unregistered:repro.core.cratemsgs.Loose"]
+    assert "never registered" in unregistered.message
+    dead = by_anchor["registered-unreachable:Pong"]
+    assert "tag 2" in dead.message
+    assert "dead tag" in dead.message
+
+
+def test_decode_closure_justifies_registered_tag():
+    # Pong is constructed inside Ping.decode: its tag is reachable even
+    # though no dispatcher tests isinstance(message, Pong).
+    messages = MESSAGES.replace(
+        """class Ping:
+    def encode(self):
+        return b""
+
+    @classmethod
+    def decode(cls, data):
+        return cls()""",
+        """class Ping:
+    def encode(self):
+        return b""
+
+    @classmethod
+    def decode(cls, data):
+        inner = Pong.decode(data)
+        return cls()""",
+    )
+    findings = run(crate(messages=messages))
+    assert [finding.anchor for finding in findings] == [
+        "dispatched-unregistered:repro.core.cratemsgs.Loose"
+    ]
+
+
+def test_decode_closure_chases_same_class_helpers():
+    # The SignedRequest.decode -> cls.read_from -> Request.decode shape:
+    # the nested decode lives in a helper, not in decode itself.
+    messages = MESSAGES.replace(
+        """class Ping:
+    def encode(self):
+        return b""
+
+    @classmethod
+    def decode(cls, data):
+        return cls()""",
+        """class Ping:
+    def encode(self):
+        return b""
+
+    @classmethod
+    def decode(cls, data):
+        return cls.read_from(data)
+
+    @classmethod
+    def read_from(cls, data):
+        inner = Pong.decode(data)
+        return cls()""",
+    )
+    findings = run(crate(messages=messages))
+    assert [finding.anchor for finding in findings] == [
+        "dispatched-unregistered:repro.core.cratemsgs.Loose"
+    ]
+
+
+def test_message_types_tuple_counts_as_dispatch_evidence():
+    handler = """
+    from repro.core.cratemsgs import Ping, Pong
+
+    class Backend:
+        MESSAGE_TYPES = (Ping, Pong)
+
+        def handle_message(self, src, message):
+            if isinstance(message, self.MESSAGE_TYPES):
+                return 1
+    """
+    findings = run(crate(handler=handler))
+    assert findings == []
+
+
+def test_silent_without_registrations_in_view():
+    sources = crate()
+    del sources["src/repro/wire/cratetags.py"]
+    assert run(sources) == []

@@ -1,0 +1,136 @@
+"""FLOW004: symbolic encoded_size checking (PROTO005's interprocedural dual).
+
+PROTO005 only sees literal arithmetic *inside* encoded_size(); spreading
+the formula across helper methods evades it.  These crates prove the
+helper-composed forms are caught once the layout and size expression are
+evaluated symbolically.
+"""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(sources, select=("FLOW004",)):
+    return lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        select=list(select),
+    )
+
+
+def one(source):
+    return run({"src/repro/wire/crate.py": source})
+
+
+# The seeded evasion crate: every operand of the size formula lives in a
+# helper or a module constant, so PROTO005's literal-arithmetic check
+# inside encoded_size() sees nothing.
+EVADER = """
+DIGEST_SIZE = 32
+
+class Evader:
+    def encode(self):
+        writer = Writer()
+        writer.put_uint(self.seq)
+        writer.put_fixed(self.digest, DIGEST_SIZE)
+        return writer.getvalue()
+
+    def _header_size(self):
+        return 8
+
+    def encoded_size(self):
+        return self._header_size() + DIGEST_SIZE
+"""
+
+
+def test_helper_composed_constant_vs_variable_layout():
+    findings = one(EVADER)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.code == "FLOW004"
+    assert "variable-width" in finding.message
+    assert "40" in finding.message  # 8 + 32, fully evaluated
+    assert finding.anchor == "repro.wire.crate.Evader.encoded_size"
+
+
+def test_evader_is_invisible_to_proto005():
+    # The whole point of FLOW004: the same crate passes the file-local rule.
+    assert run({"src/repro/wire/crate.py": EVADER}, select=("PROTO005",)) == []
+
+
+def test_constant_drift_against_all_constant_layout():
+    findings = one("""
+    class Drifted:
+        def encode(self):
+            writer = Writer()
+            writer.put_fixed(self.digest, 16)
+            writer.put_bool(self.flag)
+            return writer.getvalue()
+
+        def _base(self):
+            return 16
+
+        def encoded_size(self):
+            return self._base() + 2
+    """)
+    assert len(findings) == 1
+    assert "exactly 17 bytes" in findings[0].message
+    assert "18" in findings[0].message
+
+
+def test_matching_constant_size_is_clean():
+    assert one("""
+    class Exact:
+        def encode(self):
+            writer = Writer()
+            writer.put_fixed(self.digest, 16)
+            writer.put_bool(self.flag)
+            return writer.getvalue()
+
+        def _base(self):
+            return 16
+
+        def encoded_size(self):
+            return self._base() + 1
+    """) == []
+
+
+def test_codec_derived_size_is_always_clean():
+    assert one("""
+    class Clean:
+        def encode(self):
+            writer = Writer()
+            writer.put_uint(self.seq)
+            return writer.getvalue()
+
+        def encoded_size(self):
+            return len(self.encode())
+    """) == []
+
+
+def test_literal_arithmetic_with_unevaluable_call():
+    findings = one("""
+    class Mystery:
+        def encode(self):
+            writer = Writer()
+            writer.put_fixed(self.digest, 8)
+            return writer.getvalue()
+
+        def encoded_size(self):
+            return self.mystery() + 4
+    """)
+    assert len(findings) == 1
+    assert "integer-literal arithmetic" in findings[0].message
+
+
+def test_variable_size_tracking_variable_layout_is_clean():
+    assert one("""
+    class Tracking:
+        def encode(self):
+            writer = Writer()
+            writer.put_bytes(self.payload)
+            return writer.getvalue()
+
+        def encoded_size(self):
+            return varint_size(len(self.payload)) + len(self.payload)
+    """) == []

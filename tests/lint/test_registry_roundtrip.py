@@ -12,6 +12,7 @@ import pytest
 import repro.wire.tags  # noqa: F401  (populate the registry)
 from repro.bft.checkpoint import CheckpointCertificate
 from repro.bft.client import ClientRequestWrapper, Reply
+from repro.bft.linear import CommitCert, Vote
 from repro.bft.messages import (
     Checkpoint,
     Commit,
@@ -73,6 +74,10 @@ def _prepared_proof():
     return PreparedProof(view=0, seq=1, digest=_signed().digest, request=_signed())
 
 
+def _vote():
+    return Vote(view=0, seq=1, digest=b"\x44" * 32, replica_id="node-1").signed(PAIR)
+
+
 def _viewchange():
     return ViewChange(new_view=1, last_stable_seq=0,
                       stable_checkpoint_digest=b"\x33" * 32,
@@ -91,6 +96,8 @@ SAMPLES = {
     NewView: lambda: NewView(view=1, view_changes=(_viewchange(),),
                              preprepares=(_preprepare(),), primary_id="node-1").signed(PAIR),
     CheckpointCertificate: _certificate,
+    Vote: _vote,
+    CommitCert: lambda: CommitCert(view=0, seq=1, digest=b"\x44" * 32, votes=(_vote(),)),
     ClientRequestWrapper: lambda: ClientRequestWrapper(request=_signed()),
     Reply: lambda: Reply(seq=1, digest=b"\x55" * 32, client_id="client-0",
                          replica_id="node-0").signed(PAIR),

@@ -95,6 +95,115 @@ def test_proto001_clean_when_registered_and_without_registry_in_view():
     assert not partial
 
 
+def test_proto001_understands_loop_driven_registration_tables():
+    # The driven idiom with a non-canonical table name: the loop feeding
+    # register_message_type makes every table entry a registration fact.
+    findings = run(
+        {
+            MESSAGE_MODULE: """
+            class Ping:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+
+            class Orphan:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+            """,
+            TAG_TABLE: """
+            _TABLE = {1: Ping}
+
+            for _tag, _cls in _TABLE.items():
+                register_message_type(_tag, _cls)
+            """,
+        },
+        select=["PROTO001"],
+    )
+    assert codes(findings) == ["PROTO001"]
+    assert "Orphan" in findings[0].message
+
+
+def test_proto001_understands_comprehension_driven_registration():
+    findings = run(
+        {
+            MESSAGE_MODULE: """
+            class Ping:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+            """,
+            TAG_TABLE: """
+            _TABLE = {1: Ping}
+
+            [register_message_type(tag, cls) for tag, cls in _TABLE.items()]
+            """,
+        },
+        select=["PROTO001"],
+    )
+    assert not findings
+
+
+def test_proto001_ignores_tables_never_fed_to_the_registrar():
+    # A dict of classes that is NOT consumed by a registration loop must
+    # not count as registrations (it would silence real findings).
+    findings = run(
+        {
+            MESSAGE_MODULE: """
+            class Ping:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+
+            class Pong:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+            """,
+            TAG_TABLE: """
+            _DISPLAY_NAMES = {1: Pong}
+
+            register_message_type(1, Ping)
+            """,
+        },
+        select=["PROTO001"],
+    )
+    assert codes(findings) == ["PROTO001"]
+    assert "Pong" in findings[0].message
+
+
+def test_registrations_yield_table_facts_not_loop_variables():
+    import textwrap as _textwrap
+
+    from repro.lint.engine import FileContext
+    from repro.lint.rules.protocol import _registrations
+
+    ctx = FileContext.parse(TAG_TABLE, _textwrap.dedent("""
+        _TABLE = {1: Ping, 2: Pong}
+
+        for _tag, _cls in _TABLE.items():
+            register_message_type(_tag, _cls)
+    """))
+    facts = list(_registrations(ctx))
+    assert sorted(name for _tag, name, _line in facts) == ["Ping", "Pong"]
+    assert sorted(tag for tag, _name, _line in facts) == [1, 2]
+
+
 # --- PROTO002: duplicate wire tags ---------------------------------------
 
 def test_proto002_flags_same_tag_for_two_classes():

@@ -25,6 +25,7 @@ import pytest
 import repro.wire.tags  # noqa: F401  (populate the registry)
 from repro.bft.checkpoint import CheckpointCertificate
 from repro.bft.client import ClientRequestWrapper, Reply
+from repro.bft.linear import CommitCert, Vote
 from repro.bft.messages import (
     Checkpoint,
     Commit,
@@ -88,6 +89,10 @@ def _prepared_proof():
     return PreparedProof(view=2, seq=9, digest=_signed().digest, request=_signed())
 
 
+def _vote():
+    return Vote(view=2, seq=9, digest=b"\xd4" * 32, replica_id="node-1").signed(PAIR)
+
+
 def _viewchange():
     return ViewChange(new_view=3, last_stable_seq=8,
                       stable_checkpoint_digest=b"\xc3" * 32,
@@ -106,6 +111,8 @@ FIXTURES = {
     NewView: lambda: NewView(view=3, view_changes=(_viewchange(),),
                              preprepares=(_preprepare(),), primary_id="node-3").signed(PAIR),
     CheckpointCertificate: _certificate,
+    Vote: _vote,
+    CommitCert: lambda: CommitCert(view=2, seq=9, digest=b"\xd4" * 32, votes=(_vote(),)),
     ClientRequestWrapper: lambda: ClientRequestWrapper(request=_signed()),
     Reply: lambda: Reply(seq=9, digest=b"\xe5" * 32, client_id="client-1",
                          replica_id="node-2").signed(PAIR),
