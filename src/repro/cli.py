@@ -24,6 +24,10 @@ from repro.scenarios import ScenarioConfig, SimulatedCluster
 def _add_run_parser(subparsers) -> None:
     parser = subparsers.add_parser("run", help="run a recorder scenario and report metrics")
     parser.add_argument("--system", choices=("zugchain", "baseline"), default="zugchain")
+    parser.add_argument("--runtime", choices=("sim", "tcp"), default="sim",
+                        help="sim: deterministic simulator; tcp: real asyncio "
+                             "sockets on localhost (zugchain only, wall-clock "
+                             "paced, trace timestamps are debug-grade)")
     parser.add_argument("--cycle-ms", type=float, default=64.0, help="bus cycle time")
     parser.add_argument("--payload", type=int, default=1024, help="payload bytes per cycle")
     parser.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
@@ -65,6 +69,8 @@ def _add_requirements_parser(subparsers) -> None:
 
 
 def _cmd_run(args, out) -> int:
+    if args.runtime == "tcp":
+        return _cmd_run_tcp(args, out)
     tracer = RecordingTracer() if args.trace else None
     cluster = SimulatedCluster(ScenarioConfig(
         system=args.system,
@@ -85,6 +91,37 @@ def _cmd_run(args, out) -> int:
         count = write_trace(tracer.iter_events(), args.trace)
         print(f"trace         : {count} events -> {args.trace}", file=out)
     return 0
+
+
+def _cmd_run_tcp(args, out) -> int:
+    from repro.runtime.tcp_scenario import TcpScenarioConfig, run_tcp_scenario
+
+    if args.system != "zugchain":
+        print("repro run: --runtime tcp supports --system zugchain only",
+              file=sys.stderr)
+        return 2
+    cycle_time_s = args.cycle_ms / 1000.0
+    cycles = max(1, round(args.duration / cycle_time_s))
+    tracer = RecordingTracer() if args.trace else None
+    config = TcpScenarioConfig(
+        n=args.nodes,
+        cycles=cycles,
+        cycle_time_s=cycle_time_s,
+        payload_bytes=args.payload,
+    )
+    result = run_tcp_scenario(config, tracer=tracer)
+    print(f"runtime       : tcp ({args.nodes} nodes, {cycles} bus cycles "
+          f"@ {args.cycle_ms:g} ms)", file=out)
+    print(f"logged        : {result.requests_logged}/{result.requests_expected}"
+          f"{'' if result.completed else '  (INCOMPLETE)'}", file=out)
+    heights = sorted(set(result.chain_heights.values()))
+    print(f"chain         : heights {heights}, heads "
+          f"{'consistent' if result.heads_consistent else 'DIVERGED'}", file=out)
+    if tracer is not None:
+        count = write_trace(tracer.iter_events(), args.trace)
+        print(f"trace         : {count} events -> {args.trace} "
+              f"(relative per-node timestamps, debug-grade)", file=out)
+    return 0 if result.completed and result.heads_consistent else 1
 
 
 def _cmd_export(args, out) -> int:

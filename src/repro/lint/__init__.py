@@ -34,9 +34,11 @@ from repro.lint.engine import (
 )
 
 # Importing the rule modules registers every shipped rule (the flow
-# package carries the interprocedural FLOW001-FLOW004 stage).
+# package carries the interprocedural FLOW001-FLOW004 stage, the aio
+# package the async concurrency ASYNC001-ASYNC006 stage).
 import repro.lint.rules  # noqa: E402,F401  (import for side effect)
 import repro.lint.flow  # noqa: E402,F401  (import for side effect)
+import repro.lint.aio  # noqa: E402,F401  (import for side effect)
 
 __all__ = [
     "FileContext",

@@ -1,0 +1,11 @@
+"""zuglint stage 3: async concurrency analysis (ASYNC001–ASYNC006).
+
+Importing this package registers the ASYNC rules.  The analysis itself
+lives in :mod:`repro.lint.aio.facts` and shares the flow stage's call
+graph through ``project.cache`` — one graph per lint invocation.
+"""
+
+from . import rules  # noqa: F401  (side-effect: rule registration)
+from .facts import AioAnalysis, AsyncFacts, aio_analysis
+
+__all__ = ["AioAnalysis", "AsyncFacts", "aio_analysis"]

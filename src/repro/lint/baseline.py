@@ -47,3 +47,29 @@ def find_default_baseline() -> str | None:
 
 def apply_baseline(findings: list[Finding], suppressed: set[str]) -> list[Finding]:
     return [finding for finding in findings if finding.fingerprint not in suppressed]
+
+
+def stale_entries(findings: list[Finding], suppressed: set[str]) -> list[str]:
+    """Baseline fingerprints no longer matched by any current finding.
+
+    Stale entries are debt that was paid off (or code that moved); they
+    would silently re-absorb a future regression at the same anchor, so
+    the CLI warns about them and ``--prune-baseline`` drops them.
+    """
+    live = {finding.fingerprint for finding in findings}
+    return sorted(suppressed - live)
+
+
+def prune_baseline(path: str, findings: list[Finding]) -> list[str]:
+    """Rewrite ``path`` keeping only fingerprints still matched; return dropped."""
+    suppressed = load_baseline(path)
+    stale = stale_entries(findings, suppressed)
+    if stale:
+        payload = {
+            "tool": "zuglint",
+            "suppressed": sorted(suppressed - set(stale)),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return stale

@@ -163,6 +163,13 @@ class Project:
         return None
 
 
+#: Analysis stages, in pipeline order.  ``ast`` rules are single-pass
+#: syntactic checks (DET/PROTO), ``flow`` rules run the interprocedural
+#: dataflow analysis (FLOW), ``aio`` rules run the async concurrency
+#: analysis (ASYNC).  ``--stage`` on the CLI selects subsets.
+STAGES = ("ast", "flow", "aio")
+
+
 class Rule:
     """Base class for lint rules; subclasses self-register via ``register_rule``."""
 
@@ -170,6 +177,7 @@ class Rule:
     name: str = ""
     description: str = ""
     scope: str = "file"  # "file" or "project"
+    stage: str = "ast"   # one of STAGES
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         return iter(())
@@ -187,6 +195,8 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
         raise LintError(f"rule {cls.__name__} has no code")
     if cls.code in _RULES:
         raise LintError(f"duplicate rule code {cls.code}")
+    if cls.stage not in STAGES:
+        raise LintError(f"rule {cls.code} has unknown stage {cls.stage!r}")
     _RULES[cls.code] = cls()
     return cls
 
@@ -202,8 +212,20 @@ def rule_for_code(code: str) -> Rule:
         raise LintError(f"unknown rule code {code!r}") from None
 
 
-def _selected_rules(select: Iterable[str] | None, ignore: Iterable[str] | None) -> list[Rule]:
+def _selected_rules(
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+    stages: Iterable[str] | None = None,
+) -> list[Rule]:
     rules = all_rules()
+    if stages:
+        wanted_stages = {stage.strip() for stage in stages}
+        for stage in wanted_stages:
+            if stage not in STAGES:
+                raise LintError(
+                    f"unknown stage {stage!r} (choose from {', '.join(STAGES)})"
+                )
+        rules = [rule for rule in rules if rule.stage in wanted_stages]
     if select:
         wanted = {code.strip() for code in select}
         for code in wanted:
@@ -239,9 +261,15 @@ def lint_contexts(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    stages: Iterable[str] | None = None,
 ) -> list[Finding]:
-    """Run the (filtered) rule set over already-parsed contexts."""
-    rules = _selected_rules(select, ignore)
+    """Run the (filtered) rule set over already-parsed contexts.
+
+    All project-scope rules share one :class:`Project` (and therefore one
+    ``project.cache``), so the call graph and the flow/aio analyses are
+    built exactly once per invocation regardless of how many stages run.
+    """
+    rules = _selected_rules(select, ignore, stages)
     project = Project(files=contexts)
     findings: list[Finding] = []
     for rule in rules:
@@ -266,6 +294,7 @@ def lint_sources(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    stages: Iterable[str] | None = None,
 ) -> list[Finding]:
     """Lint in-memory sources (used heavily by the test suite).
 
@@ -274,7 +303,7 @@ def lint_sources(
     """
     items = sources.items() if isinstance(sources, dict) else sources
     contexts = [FileContext.parse(path, text) for path, text in items]
-    return lint_contexts(contexts, select=select, ignore=ignore)
+    return lint_contexts(contexts, select=select, ignore=ignore, stages=stages)
 
 
 def lint_paths(
@@ -282,6 +311,7 @@ def lint_paths(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    stages: Iterable[str] | None = None,
 ) -> list[Finding]:
     """Lint files/directories on disk; unparsable files yield ``E999``."""
     contexts: list[FileContext] = []
@@ -304,6 +334,6 @@ def lint_paths(
                     col=(exc.offset or 1) - 1,
                 )
             )
-    findings.extend(lint_contexts(contexts, select=select, ignore=ignore))
+    findings.extend(lint_contexts(contexts, select=select, ignore=ignore, stages=stages))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings

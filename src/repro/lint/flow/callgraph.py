@@ -91,6 +91,7 @@ class CallGraph:
         self._class_by_name: dict[str, list[str]] = {}
         self._func_by_name: dict[str, list[str]] = {}
         self._const_by_name: dict[str, list[str]] = {}
+        self._local_types: dict[str, dict[str, str]] = {}
         for ctx in project.files:
             self._index_file(ctx)
         for fn in self.functions.values():
@@ -314,7 +315,21 @@ class CallGraph:
         return types
 
     def local_types(self, fn: FunctionInfo) -> dict[str, str]:
-        """Locals with inferable class types (constructor calls, annotations)."""
+        """Locals with inferable class types (constructor calls, annotations).
+
+        Memoized per function key: every analyzer construction (the flow
+        fixpoint alone builds two per function per pass) used to rewalk the
+        body; the function set is fixed for the lifetime of the graph, so
+        the map is computed once and shared by the flow and aio stages.
+        """
+        cached = self._local_types.get(fn.key)
+        if cached is not None:
+            return cached
+        types = self._compute_local_types(fn)
+        self._local_types[fn.key] = types
+        return types
+
+    def _compute_local_types(self, fn: FunctionInfo) -> dict[str, str]:
         types: dict[str, str] = dict(fn.param_types)
         for node in ast.walk(fn.node):
             if isinstance(node, ast.Assign) and len(node.targets) == 1:

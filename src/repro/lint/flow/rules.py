@@ -47,6 +47,7 @@ class InterproceduralTaintRule(Rule):
         "replica-state sink — replicas would diverge on identical input"
     )
     scope = "project"
+    stage = "flow"
 
     def check_project(self, project: Project) -> Iterator[Finding]:
         analysis = flow_analysis(project)
@@ -75,6 +76,7 @@ class VerifyBeforeMutateRule(Rule):
         "input can corrupt replica, chain, or export state"
     )
     scope = "project"
+    stage = "flow"
 
     #: Packages holding protocol state machines; runtime/sim/obs mutate
     #: their own bookkeeping freely and are out of scope.
@@ -220,6 +222,7 @@ class HandlerCoverageRule(Rule):
         "decode closure (dead tag, or a missing handler branch)"
     )
     scope = "project"
+    stage = "flow"
 
     def check_project(self, project: Project) -> Iterator[Finding]:
         graph = build_call_graph(project)

@@ -234,6 +234,7 @@ class SummedEncodedSizeRule(Rule):
         "len(self.encode()) instead of hand-maintained arithmetic"
     )
     scope = "project"
+    stage = "flow"
 
     def check_project(self, project: Project) -> Iterator[Finding]:
         graph = build_call_graph(project)

@@ -52,6 +52,10 @@ class AsyncioEnv(BaseEnv):
         super().__init__(node_id)
         self._peers = dict(peers)
         self._writers: dict[str, asyncio.StreamWriter] = {}
+        # Serializes connect_all against concurrent callers: the dial/hello
+        # sequence awaits mid-update, so _writers check-then-set must not
+        # interleave (lock construction is loop-free since Python 3.10).
+        self._conn_lock = asyncio.Lock()
         self._loop = loop
         self._epoch: float | None = None
         #: Inbound frames whose body failed to decode (stream stays aligned).
@@ -101,15 +105,27 @@ class AsyncioEnv(BaseEnv):
     # -- connections ---------------------------------------------------------
 
     async def connect_all(self) -> None:
-        """Open outgoing connections to every peer (call once all listen)."""
-        for peer_id in sorted(self._peers):
-            if peer_id == self._node_id or peer_id in self._writers:
-                continue
-            host, port = self._peers[peer_id]
-            reader, writer = await asyncio.open_connection(host, port)
-            writer.write(_HELLO_PREFIX + self._node_id.encode() + b"\n")
-            await writer.drain()
-            self._writers[peer_id] = writer
+        """Open outgoing connections to every peer (call once all listen).
+
+        Safe to call concurrently: the lock makes the ``peer_id in
+        self._writers`` check and the eventual store atomic per call, so
+        two racing callers cannot dial the same peer twice.
+        """
+        async with self._conn_lock:
+            for peer_id in sorted(self._peers):
+                if peer_id == self._node_id or peer_id in self._writers:
+                    continue
+                host, port = self._peers[peer_id]
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(_HELLO_PREFIX + self._node_id.encode() + b"\n")
+                    await writer.drain()
+                except BaseException:
+                    # Cancellation or a refused hello must not leak the
+                    # half-open socket.
+                    writer.close()
+                    raise
+                self._writers[peer_id] = writer
 
     async def close(self) -> None:
         for writer in self._writers.values():
@@ -141,13 +157,22 @@ class AsyncioCluster:
         self.hosted: dict[str, _Hosted] = {}
         self.peers: dict[str, tuple[str, int]] = {}
         self._handler_tasks: set[asyncio.Task] = set()
+        self._started = False
 
     async def start(self) -> None:
-        # Bind servers first (ephemeral ports when base_port == 0) ...
-        pending: list[tuple[str, AsyncioEnv]] = []
+        # The check-and-set happens before the first await, so it is atomic
+        # on the event loop: a second (even concurrent) start() fails fast
+        # instead of binding a duplicate server fleet.
+        if self._started:
+            raise RuntimeError("AsyncioCluster.start() called twice")
+        self._started = True
+        # Bind servers first (ephemeral ports when base_port == 0), building
+        # into locals; the shared maps are published only when complete.
+        peers: dict[str, tuple[str, int]] = {}
+        hosted: dict[str, _Hosted] = {}
         for index in range(self.n):
             node_id = f"node-{index}"
-            env = AsyncioEnv(node_id, self.peers)  # peers filled in below
+            env = AsyncioEnv(node_id, peers)  # peers filled in below
             node = self._factory(env)
             server = await asyncio.start_server(
                 self._connection_handler(node, env),
@@ -155,13 +180,14 @@ class AsyncioCluster:
                 self._base_port + index if self._base_port else 0,
             )
             port = server.sockets[0].getsockname()[1]
-            self.peers[node_id] = (self._host, port)
-            self.hosted[node_id] = _Hosted(node=node, env=env, server=server)
-            pending.append((node_id, env))
+            peers[node_id] = (self._host, port)
+            hosted[node_id] = _Hosted(node=node, env=env, server=server)
+        self.peers.update(peers)
+        self.hosted.update(hosted)
         # ... then connect everyone to everyone.
-        for node_id, env in pending:
-            env._peers.update(self.peers)
-            await env.connect_all()
+        for node_id, entry in hosted.items():
+            entry.env._peers.update(peers)
+            await entry.env.connect_all()
 
     def _connection_handler(self, node, env: AsyncioEnv):
         async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):

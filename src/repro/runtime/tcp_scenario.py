@@ -1,0 +1,153 @@
+"""Traceable ZugChain runs over the asyncio TCP runtime.
+
+``python -m repro run --runtime tcp --trace out.jsonl`` lands here: a
+real :class:`~repro.runtime.asyncio_runtime.AsyncioCluster` of HMAC-keyed
+ZugChain nodes, an in-process bus feeder, and one shared
+:class:`~repro.obs.trace.RecordingTracer` collecting the same event
+taxonomy the simulator emits (``bus.rx``, ``bft.*``, ``req.logged``).
+
+Timestamps are **debug-grade**: each node's ``env.now()`` is relative to
+that env's first clock read, so cross-node deltas are approximate and a
+re-run is never byte-identical (real sockets, real scheduler).  Ordering
+guarantees that DO hold — the tracer's cluster-wide ``seq`` is strictly
+increasing, each node's timestamps are monotonic, and a request's
+``bus.rx`` precedes its ``req.logged`` on every node — are what the obs
+tests pin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.bft import BftConfig
+from repro.bus.nsdb import standard_jru_catalog
+from repro.core import ZugChainConfig, ZugChainNode
+from repro.crypto import HmacScheme, KeyStore
+from repro.obs.trace import Tracer
+from repro.runtime.asyncio_runtime import AsyncioCluster, AsyncioEnv
+from repro.wire import Request
+
+
+@dataclass
+class TcpScenarioConfig:
+    """Shape of one TCP scenario run."""
+
+    n: int = 4
+    cycles: int = 20
+    cycle_time_s: float = 0.02
+    payload_bytes: int = 64
+    block_size: int = 5
+    soft_timeout_s: float = 0.4
+    hard_timeout_s: float = 0.4
+    settle_timeout_s: float = 30.0
+
+
+@dataclass
+class TcpScenarioResult:
+    """What a run observed, for CLI reporting and assertions."""
+
+    requests_expected: int
+    requests_logged: int          # min over nodes
+    chain_heights: dict[str, int] = field(default_factory=dict)
+    heads_consistent: bool = True
+    completed: bool = True        # every node logged every request in time
+
+
+def _payload(cycle: int, size: int) -> bytes:
+    stamp = b"tcp-cycle-%d." % cycle
+    if len(stamp) >= size:
+        return stamp[: max(size, 1)]
+    return stamp + b"x" * (size - len(stamp))
+
+
+def _node_factory(config: TcpScenarioConfig, tracer: Tracer | None):
+    ids = [f"node-{i}" for i in range(config.n)]
+    scheme = HmacScheme()
+    keystore = KeyStore(scheme=scheme)
+    keypairs = {}
+    for node_id in ids:
+        pair = scheme.derive_keypair(node_id.encode())
+        keypairs[node_id] = pair
+        keystore.register(node_id, pair.public)
+    bft_config = BftConfig(
+        replica_ids=tuple(ids), checkpoint_interval=config.block_size,
+    )
+    zug_config = ZugChainConfig(
+        soft_timeout_s=config.soft_timeout_s,
+        hard_timeout_s=config.hard_timeout_s,
+        checkpoint_interval=config.block_size,
+    )
+    nsdb = standard_jru_catalog()
+
+    def make_node(env: AsyncioEnv) -> ZugChainNode:
+        return ZugChainNode(
+            env=env,
+            bft_config=bft_config,
+            zug_config=zug_config,
+            keypair=keypairs[env.node_id],
+            keystore=keystore,
+            nsdb=nsdb,
+            tracer=tracer,
+        )
+
+    return make_node
+
+
+async def _drive(cluster: AsyncioCluster, config: TcpScenarioConfig) -> None:
+    for cycle in range(1, config.cycles + 1):
+        request = Request(
+            payload=_payload(cycle, config.payload_bytes),
+            bus_cycle=cycle,
+            recv_timestamp_us=int(cycle * config.cycle_time_s * 1e6),
+        )
+        # Every node reads the same bus data locally (MVB semantics).
+        for node in cluster.nodes().values():
+            node.inject_request(request)
+        await asyncio.sleep(config.cycle_time_s)
+
+
+async def _wait_until(predicate, timeout_s: float) -> bool:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.05)
+    return False
+
+
+async def _scenario(config: TcpScenarioConfig,
+                    tracer: Tracer | None) -> TcpScenarioResult:
+    cluster = AsyncioCluster(_node_factory(config, tracer), n=config.n)
+    await cluster.start()
+    try:
+        await _drive(cluster, config)
+        completed = await _wait_until(
+            lambda: all(
+                node.requests_logged >= config.cycles
+                for node in cluster.nodes().values()
+            ),
+            config.settle_timeout_s,
+        )
+        nodes = cluster.nodes()
+        heights = {node_id: node.chain.height for node_id, node in nodes.items()}
+        heads = {
+            node.chain.head.block_hash
+            for node in nodes.values() if node.chain.height > 0
+        }
+        return TcpScenarioResult(
+            requests_expected=config.cycles,
+            requests_logged=min(node.requests_logged for node in nodes.values()),
+            chain_heights=heights,
+            heads_consistent=len(heads) <= 1,
+            completed=completed,
+        )
+    finally:
+        await cluster.stop()
+
+
+def run_tcp_scenario(config: TcpScenarioConfig,
+                     tracer: Tracer | None = None) -> TcpScenarioResult:
+    """Run one traced cluster scenario over real TCP sockets."""
+    return asyncio.run(_scenario(config, tracer))

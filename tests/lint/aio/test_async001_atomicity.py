@@ -1,0 +1,250 @@
+"""ASYNC001: read-modify-write of shared state spanning a suspension point.
+
+The acceptance bar for the rule is interprocedurality: an ``await`` whose
+suspension point lives two calls away must still make the caller's
+read-modify-write a finding, and a callee that never truly suspends must
+not.
+"""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(sources, select=("ASYNC001",)):
+    return lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        select=list(select),
+    )
+
+
+def codes(sources):
+    return [finding.code for finding in run(sources)]
+
+
+def test_direct_rmw_across_await_is_flagged():
+    findings = run({
+        "src/repro/svc/a.py": """
+        import asyncio
+
+        class Registry:
+            async def bump(self):
+                count = self._count
+                await asyncio.sleep(0.1)
+                self._count = count + 1
+        """,
+    })
+    assert [f.code for f in findings] == ["ASYNC001"]
+    assert "self._count" in findings[0].message
+    assert findings[0].line == 8
+
+
+def test_two_hop_interprocedural_await_counts():
+    """The suspension is inside a callee two hops away — still a finding."""
+    findings = run({
+        "src/repro/svc/b.py": """
+        import asyncio
+
+        class Registry:
+            async def bump(self):
+                count = self._count
+                await self._hop_one()
+                self._count = count + 1
+
+            async def _hop_one(self):
+                await self._hop_two()
+
+            async def _hop_two(self):
+                await asyncio.sleep(0.1)
+        """,
+    })
+    assert [(f.code, f.line) for f in findings] == [("ASYNC001", 8)]
+
+
+def test_awaiting_a_non_suspending_callee_is_not_a_suspension():
+    """A coroutine that never reaches a suspension primitive runs atomically."""
+    findings = run({
+        "src/repro/svc/c.py": """
+        class Registry:
+            async def bump(self):
+                count = self._count
+                await self._pure()
+                self._count = count + 1
+
+            async def _pure(self):
+                return 7
+        """,
+    })
+    assert findings == []
+
+
+def test_lock_protected_rmw_is_clean():
+    findings = run({
+        "src/repro/svc/d.py": """
+        import asyncio
+
+        class Registry:
+            def __init__(self):
+                self._lock = asyncio.Lock()
+                self._count = 0
+
+            async def bump(self):
+                async with self._lock:
+                    count = self._count
+                    await asyncio.sleep(0.1)
+                    self._count = count + 1
+        """,
+    })
+    assert findings == []
+
+
+def test_lock_on_read_but_not_write_still_flags():
+    findings = run({
+        "src/repro/svc/e.py": """
+        import asyncio
+
+        class Registry:
+            def __init__(self):
+                self._lock = asyncio.Lock()
+
+            async def bump(self):
+                async with self._lock:
+                    count = self._count
+                await asyncio.sleep(0.1)
+                self._count = count + 1
+        """,
+    })
+    assert [f.code for f in findings] == ["ASYNC001"]
+
+
+def test_augassign_rmw_across_await_is_flagged():
+    findings = run({
+        "src/repro/svc/f.py": """
+        import asyncio
+
+        class Counter:
+            async def add(self):
+                self._total += await self._fetch()
+
+            async def _fetch(self):
+                await asyncio.sleep(0.1)
+                return 1
+        """,
+    })
+    assert [f.code for f in findings] == ["ASYNC001"]
+
+
+def test_mutating_method_call_counts_as_write():
+    findings = run({
+        "src/repro/svc/g.py": """
+        import asyncio
+
+        class Pool:
+            async def evict(self, key):
+                if key in self._items:
+                    await asyncio.sleep(0.1)
+                    self._items.pop(key)
+        """,
+    })
+    assert [f.code for f in findings] == ["ASYNC001"]
+
+
+def test_exclusive_branches_do_not_combine():
+    """A read in one branch and a write in the sibling never co-execute."""
+    findings = run({
+        "src/repro/svc/h.py": """
+        import asyncio
+
+        class Pool:
+            async def step(self, flag):
+                if flag:
+                    snapshot = self._items
+                    del snapshot
+                else:
+                    await asyncio.sleep(0.1)
+                    self._items = {}
+        """,
+    })
+    assert findings == []
+
+
+def test_loop_carried_read_is_stale_for_next_iteration():
+    findings = run({
+        "src/repro/svc/i.py": """
+        import asyncio
+
+        class Pool:
+            async def drain(self):
+                while True:
+                    item = self._queue_head
+                    await asyncio.sleep(0.1)
+                    self._queue_head = item
+        """,
+    })
+    assert [f.code for f in findings] == ["ASYNC001"]
+
+
+def test_write_only_update_after_await_is_clean():
+    """Publishing into shared state without a prior read is not an RMW."""
+    findings = run({
+        "src/repro/svc/j.py": """
+        import asyncio
+
+        class Cluster:
+            async def start(self):
+                built = {}
+                built["x"] = await asyncio.sleep(0.1)
+                self.peers = built
+        """,
+    })
+    assert findings == []
+
+
+def test_observability_attrs_are_exempt():
+    findings = run({
+        "src/repro/svc/k.py": """
+        import asyncio
+
+        class Node:
+            async def tick(self):
+                count = self.stats
+                await asyncio.sleep(0.1)
+                self.stats = count
+        """,
+    })
+    assert findings == []
+
+
+def test_nested_handler_closure_is_analyzed():
+    """Nested async defs are invisible to the call graph but not to aio."""
+    findings = run({
+        "src/repro/svc/m.py": """
+        import asyncio
+
+        class Server:
+            def handler(self):
+                async def handle(reader, writer):
+                    backlog = self._backlog
+                    await asyncio.sleep(0.1)
+                    self._backlog = backlog + 1
+                return handle
+        """,
+    })
+    assert [f.code for f in findings] == ["ASYNC001"]
+
+
+def test_finding_has_structural_anchor():
+    findings = run({
+        "src/repro/svc/n.py": """
+        import asyncio
+
+        class Registry:
+            async def bump(self):
+                count = self._count
+                await asyncio.sleep(0.1)
+                self._count = count + 1
+        """,
+    })
+    assert findings[0].fingerprint.endswith(
+        "::ASYNC001::repro.svc.n:Registry.bump._count"
+    )

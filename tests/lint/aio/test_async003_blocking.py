@@ -1,0 +1,119 @@
+"""ASYNC003: event-loop-blocking calls reachable from async functions."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(sources):
+    return lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        select=["ASYNC003"],
+    )
+
+
+def test_direct_time_sleep_in_async_is_flagged():
+    findings = run({
+        "src/repro/svc/block.py": """
+        import time
+
+        async def pause():
+            time.sleep(1)
+        """,
+    })
+    assert [f.code for f in findings] == ["ASYNC003"]
+    assert "time.sleep" in findings[0].message
+
+
+def test_time_sleep_in_sync_function_is_not_flagged():
+    findings = run({
+        "src/repro/svc/block.py": """
+        import time
+
+        def pause():
+            time.sleep(1)
+        """,
+    })
+    assert findings == []
+
+
+def test_blocking_reached_through_sync_helper_is_flagged():
+    """Interprocedural: the sleep is one sync hop below the async frame."""
+    findings = run({
+        "src/repro/svc/block.py": """
+        import time
+
+        def backoff():
+            time.sleep(1)
+
+        async def retry():
+            backoff()
+        """,
+    })
+    assert [(f.code, f.line) for f in findings] == [("ASYNC003", 8)]
+    assert "backoff" in findings[0].message
+
+
+def test_blocking_two_sync_hops_down_names_the_via_path():
+    findings = run({
+        "src/repro/svc/block.py": """
+        import time
+
+        def inner():
+            time.sleep(1)
+
+        def outer():
+            inner()
+
+        async def retry():
+            outer()
+        """,
+    })
+    assert [(f.code, f.line) for f in findings] == [("ASYNC003", 11)]
+    assert "via inner" in findings[0].message
+
+
+def test_async_callee_is_flagged_at_its_own_site_not_the_caller():
+    findings = run({
+        "src/repro/svc/block.py": """
+        import time
+
+        async def lower():
+            time.sleep(1)
+
+        async def upper():
+            await lower()
+        """,
+    })
+    assert [(f.code, f.line) for f in findings] == [("ASYNC003", 5)]
+
+
+def test_open_is_flagged_only_in_async_frames():
+    findings = run({
+        "src/repro/svc/block.py": """
+        def read_config(path):
+            with open(path) as handle:
+                return handle.read()
+
+        async def load(path):
+            with open(path) as handle:
+                return handle.read()
+        """,
+    })
+    assert [(f.code, f.line) for f in findings] == [("ASYNC003", 7)]
+
+
+def test_subprocess_and_sync_http_are_covered():
+    findings = run({
+        "src/repro/svc/block.py": """
+        import subprocess
+        import urllib.request
+
+        async def shell():
+            subprocess.run(["ls"])
+
+        async def fetch(url):
+            urllib.request.urlopen(url)
+        """,
+    })
+    assert sorted(f.line for f in findings) == [6, 9]

@@ -1,0 +1,99 @@
+"""ASYNC004: resources acquired then awaited without guaranteed release."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(text, path="src/repro/svc/conn.py"):
+    return lint_sources({path: textwrap.dedent(text)}, select=["ASYNC004"])
+
+
+def test_writer_awaited_without_protection_is_flagged():
+    findings = run("""
+    import asyncio
+
+    async def dial(host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"hello")
+        await writer.drain()
+        return writer
+    """)
+    assert [f.code for f in findings] == ["ASYNC004"]
+    assert "'writer'" in findings[0].message
+    assert findings[0].line == 5
+
+
+def test_try_finally_release_is_clean():
+    findings = run("""
+    import asyncio
+
+    async def dial(host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(b"hello")
+            await writer.drain()
+        finally:
+            writer.close()
+    """)
+    assert findings == []
+
+
+def test_except_close_and_reraise_is_clean():
+    findings = run("""
+    import asyncio
+
+    async def dial(host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(b"hello")
+            await writer.drain()
+        except BaseException:
+            writer.close()
+            raise
+        return writer
+    """)
+    assert findings == []
+
+
+def test_ownership_transfer_before_later_awaits_is_clean():
+    """Once stored on self, later awaits are the owner's problem."""
+    findings = run("""
+    import asyncio
+
+    class Pool:
+        async def dial(self, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            self._writers[host] = writer
+            await asyncio.sleep(0.1)
+    """)
+    assert findings == []
+
+
+def test_no_awaits_after_acquisition_is_clean():
+    findings = run("""
+    import asyncio
+
+    async def dial(host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"hello")
+        return writer
+    """)
+    assert findings == []
+
+
+def test_lock_acquire_without_finally_is_flagged():
+    findings = run("""
+    import asyncio
+
+    class Guard:
+        def __init__(self):
+            self._lock = asyncio.Lock()
+
+        async def critical(self):
+            ok = await self._lock.acquire()
+            await asyncio.sleep(0.1)
+            self._lock.release()
+    """)
+    assert [f.code for f in findings] == ["ASYNC004"]
+    assert "lock" in findings[0].message

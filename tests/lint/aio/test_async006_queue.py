@@ -1,0 +1,61 @@
+"""ASYNC006: unbounded asyncio queues in ingest paths."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(text, path="src/repro/svc/ingest.py"):
+    return lint_sources({path: textwrap.dedent(text)}, select=["ASYNC006"])
+
+
+def test_default_queue_is_flagged():
+    findings = run("""
+    import asyncio
+
+    class Ingest:
+        def __init__(self):
+            self._inbox = asyncio.Queue()
+    """)
+    assert [f.code for f in findings] == ["ASYNC006"]
+    assert "maxsize" in findings[0].message
+
+
+def test_explicit_zero_maxsize_is_flagged():
+    findings = run("""
+    import asyncio
+
+    def make():
+        return asyncio.Queue(maxsize=0), asyncio.PriorityQueue(0)
+    """)
+    assert [f.code for f in findings] == ["ASYNC006", "ASYNC006"]
+
+
+def test_bounded_queue_is_clean():
+    findings = run("""
+    import asyncio
+
+    def make(limit):
+        return asyncio.Queue(maxsize=256), asyncio.Queue(limit)
+    """)
+    assert findings == []
+
+
+def test_from_import_alias_is_resolved():
+    findings = run("""
+    from asyncio import Queue
+
+    def make():
+        return Queue()
+    """)
+    assert [f.code for f in findings] == ["ASYNC006"]
+
+
+def test_non_asyncio_queue_is_clean():
+    findings = run("""
+    from queue import Queue
+
+    def make():
+        return Queue()
+    """)
+    assert findings == []

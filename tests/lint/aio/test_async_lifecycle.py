@@ -1,0 +1,130 @@
+"""ASYNC002 (fire-and-forget tasks) and ASYNC005 (unawaited coroutines)."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(text, select, path="src/repro/svc/tasks.py"):
+    return lint_sources({path: textwrap.dedent(text)}, select=list(select))
+
+
+# -- ASYNC002 ---------------------------------------------------------------
+
+
+def test_discarded_create_task_is_flagged():
+    findings = run("""
+    import asyncio
+
+    async def main(worker):
+        asyncio.create_task(worker())
+    """, ["ASYNC002"])
+    assert [f.code for f in findings] == ["ASYNC002"]
+
+
+def test_task_bound_to_underscore_is_flagged():
+    findings = run("""
+    import asyncio
+
+    async def main(worker):
+        _ = asyncio.create_task(worker())
+    """, ["ASYNC002"])
+    assert [f.code for f in findings] == ["ASYNC002"]
+
+
+def test_task_bound_but_never_used_is_flagged():
+    findings = run("""
+    import asyncio
+
+    async def main(worker):
+        task = asyncio.create_task(worker())
+        return None
+    """, ["ASYNC002"])
+    assert [f.code for f in findings] == ["ASYNC002"]
+    assert "task" in findings[0].message
+
+
+def test_stored_and_awaited_tasks_are_clean():
+    findings = run("""
+    import asyncio
+
+    class Owner:
+        async def main(self, worker):
+            self._task = asyncio.create_task(worker())
+            kept = asyncio.create_task(worker())
+            await kept
+            watched = asyncio.create_task(worker())
+            watched.add_done_callback(print)
+    """, ["ASYNC002"])
+    assert findings == []
+
+
+def test_task_group_children_are_not_flagged():
+    findings = run("""
+    async def main(tg, worker):
+        tg.create_task(worker())
+    """, ["ASYNC002"])
+    assert findings == []
+
+
+def test_ensure_future_is_covered():
+    findings = run("""
+    import asyncio
+
+    async def main(worker):
+        asyncio.ensure_future(worker())
+    """, ["ASYNC002"])
+    assert [f.code for f in findings] == ["ASYNC002"]
+
+
+# -- ASYNC005 ---------------------------------------------------------------
+
+
+def test_bare_call_to_project_coroutine_is_flagged():
+    findings = run("""
+    class Node:
+        async def flush(self):
+            return 1
+
+        def tick(self):
+            self.flush()
+    """, ["ASYNC005"])
+    assert [f.code for f in findings] == ["ASYNC005"]
+    assert "flush" in findings[0].message
+
+
+def test_unawaited_asyncio_sleep_is_flagged():
+    findings = run("""
+    import asyncio
+
+    async def main():
+        asyncio.sleep(1)
+    """, ["ASYNC005"])
+    assert [f.code for f in findings] == ["ASYNC005"]
+
+
+def test_awaited_calls_are_clean():
+    findings = run("""
+    import asyncio
+
+    class Node:
+        async def flush(self):
+            return 1
+
+        async def tick(self):
+            await self.flush()
+            await asyncio.sleep(0)
+    """, ["ASYNC005"])
+    assert findings == []
+
+
+def test_bare_sync_call_is_clean():
+    findings = run("""
+    class Node:
+        def flush(self):
+            return 1
+
+        def tick(self):
+            self.flush()
+    """, ["ASYNC005"])
+    assert findings == []

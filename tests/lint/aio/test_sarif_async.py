@@ -1,0 +1,154 @@
+"""SARIF coverage for the ASYNC rules: golden shape, fingerprint
+stability under line insertion, and a three-stage end-to-end run."""
+
+import io
+import json
+import textwrap
+
+from repro.lint import lint_sources
+from repro.lint.cli import main
+from repro.lint.reporters import report_sarif
+
+RACY = {
+    "src/repro/svc/conn.py": """
+    import asyncio
+
+    class Pool:
+        async def bump(self):
+            count = self._count
+            await asyncio.sleep(0.1)
+            self._count = count + 1
+
+        async def spawn(self, worker):
+            asyncio.create_task(worker())
+
+        def __init__(self):
+            self._inbox = asyncio.Queue()
+    """,
+}
+
+#: The same module with unrelated lines inserted above every finding.
+RACY_SHIFTED = {
+    "src/repro/svc/conn.py": """
+    import asyncio
+
+    BANNER = "zugchain"
+    VERSION = 3
+
+    class Pool:
+        async def bump(self):
+            count = self._count
+            await asyncio.sleep(0.1)
+            self._count = count + 1
+
+        async def spawn(self, worker):
+            asyncio.create_task(worker())
+
+        def __init__(self):
+            self._inbox = asyncio.Queue()
+    """,
+}
+
+
+def sarif_for(sources, select=None, stages=None):
+    findings = lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        select=select,
+        stages=stages,
+    )
+    buffer = io.StringIO()
+    report_sarif(findings, buffer)
+    return findings, json.loads(buffer.getvalue())
+
+
+def test_async_rules_appear_in_sarif_driver_metadata():
+    _findings, doc = sarif_for(RACY)
+    driver = doc["runs"][0]["tool"]["driver"]
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    assert {f"ASYNC00{n}" for n in range(1, 7)} <= rule_ids
+
+
+def test_golden_sarif_results_for_async_findings():
+    findings, doc = sarif_for(RACY, select=["ASYNC001", "ASYNC002", "ASYNC006"])
+    assert sorted(f.code for f in findings) == ["ASYNC001", "ASYNC002", "ASYNC006"]
+    results = doc["runs"][0]["results"]
+    golden = [
+        (
+            "ASYNC001",
+            "src/repro/svc/conn.py",
+            "src/repro/svc/conn.py::ASYNC001::repro.svc.conn:Pool.bump._count",
+        ),
+        (
+            "ASYNC002",
+            "src/repro/svc/conn.py",
+            "src/repro/svc/conn.py::ASYNC002::repro.svc.conn:spawn.spawn",
+        ),
+        (
+            "ASYNC006",
+            "src/repro/svc/conn.py",
+            "src/repro/svc/conn.py::ASYNC006::repro.svc.conn:__init__.queue",
+        ),
+    ]
+    rendered = sorted(
+        (
+            result["ruleId"],
+            result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            result["partialFingerprints"]["zuglint/fingerprint"],
+        )
+        for result in results
+    )
+    assert rendered == golden
+
+
+def test_partial_fingerprints_survive_line_insertion():
+    """Anchored fingerprints identify the same logical findings after edits."""
+    _f1, doc1 = sarif_for(RACY, stages=["aio"])
+    _f2, doc2 = sarif_for(RACY_SHIFTED, stages=["aio"])
+
+    def prints(doc):
+        return sorted(
+            result["partialFingerprints"]["zuglint/fingerprint"]
+            for result in doc["runs"][0]["results"]
+        )
+
+    assert prints(doc1) == prints(doc2)
+    lines1 = [r["locations"][0]["physicalLocation"]["region"]["startLine"]
+              for r in doc1["runs"][0]["results"]]
+    lines2 = [r["locations"][0]["physicalLocation"]["region"]["startLine"]
+              for r in doc2["runs"][0]["results"]]
+    assert lines1 != lines2  # the physical locations did move
+
+
+def test_end_to_end_three_stage_sarif_run(tmp_path):
+    """--format sarif over a tree with ast, flow, and aio findings."""
+    target = tmp_path / "src" / "repro" / "svc" / "mixed.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent("""
+    import time
+    import asyncio
+
+    def now_us():
+        return int(time.time() * 1e6)
+
+    class Stamp:
+        def encode(self, writer):
+            writer.put_uint(now_us())
+            return writer.getvalue()
+
+    class Registry:
+        async def bump(self):
+            count = self._count
+            await asyncio.sleep(0.1)
+            self._count = count + 1
+    """))
+    out_path = tmp_path / "lint.sarif"
+    code = main(
+        ["--format", "sarif", "--output", str(out_path), str(target)],
+        stream=io.StringIO(),
+    )
+    assert code == 1
+    doc = json.loads(out_path.read_text())
+    codes = {result["ruleId"] for result in doc["runs"][0]["results"]}
+    assert any(c.startswith("DET") for c in codes)      # ast stage
+    assert any(c.startswith("FLOW") for c in codes)     # flow stage
+    assert "ASYNC001" in codes                          # aio stage

@@ -1,0 +1,124 @@
+"""Stage plumbing: --stage filtering and the shared per-run call graph."""
+
+import io
+import textwrap
+
+import pytest
+
+from repro.lint import lint_sources
+from repro.lint.aio import aio_analysis
+from repro.lint.cli import main
+from repro.lint.engine import (
+    STAGES,
+    FileContext,
+    LintError,
+    Project,
+    all_rules,
+    lint_contexts,
+)
+from repro.lint.flow.summaries import flow_analysis
+
+RACY = {
+    "src/repro/svc/mixed.py": """
+    import time
+    import asyncio
+
+    def now_us():
+        return int(time.time() * 1e6)
+
+    class Registry:
+        async def bump(self):
+            count = self._count
+            await asyncio.sleep(0.1)
+            self._count = count + 1
+    """,
+}
+
+
+def run(sources, stages=None):
+    return lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        stages=stages,
+    )
+
+
+def test_every_rule_declares_a_known_stage():
+    for rule in all_rules():
+        assert rule.stage in STAGES, rule.code
+
+
+def test_stage_aio_runs_only_async_rules():
+    findings = run(RACY, stages=["aio"])
+    assert findings
+    assert all(f.code.startswith("ASYNC") for f in findings)
+
+
+def test_stage_ast_excludes_async_rules():
+    findings = run(RACY, stages=["ast"])
+    assert findings  # DET001 wall clock
+    assert all(not f.code.startswith(("ASYNC", "FLOW")) for f in findings)
+
+
+def test_all_stages_is_the_default():
+    codes = {f.code for f in run(RACY)}
+    assert any(code.startswith("ASYNC") for code in codes)
+    assert any(code.startswith("DET") for code in codes)
+
+
+def test_unknown_stage_is_a_usage_error():
+    with pytest.raises(LintError, match="unknown stage"):
+        run(RACY, stages=["asink"])
+
+
+def test_cli_stage_flag(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "svc" / "mixed.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(RACY["src/repro/svc/mixed.py"]))
+    stream = io.StringIO()
+    assert main(["--stage", "aio", str(target)], stream=stream) == 1
+    assert "ASYNC001" in stream.getvalue()
+    assert "DET001" not in stream.getvalue()
+
+    stream = io.StringIO()
+    assert main(["--stage", "ast,flow", str(target)], stream=stream) == 1
+    assert "ASYNC001" not in stream.getvalue()
+    assert "DET001" in stream.getvalue()
+
+
+def test_cli_rejects_unknown_stage(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("X = 1\n")
+    assert main(["--stage", "nope", str(target)], stream=io.StringIO()) == 2
+    assert "unknown stage" in capsys.readouterr().err
+
+
+def test_flow_and_aio_share_one_call_graph():
+    """Both analyses resolve through the same cached CallGraph instance."""
+    contexts = [
+        FileContext.parse(path, textwrap.dedent(text))
+        for path, text in RACY.items()
+    ]
+    project = Project(files=contexts)
+    flow = flow_analysis(project)
+    aio = aio_analysis(project)
+    assert aio.graph is flow.graph
+    assert aio.graph is project.cache["flow.callgraph"]
+
+
+def test_one_lint_run_builds_one_graph(monkeypatch):
+    from repro.lint.flow import callgraph as callgraph_mod
+
+    built = []
+    real_init = callgraph_mod.CallGraph.__init__
+
+    def counting_init(self, project):
+        built.append(1)
+        real_init(self, project)
+
+    monkeypatch.setattr(callgraph_mod.CallGraph, "__init__", counting_init)
+    contexts = [
+        FileContext.parse(path, textwrap.dedent(text))
+        for path, text in RACY.items()
+    ]
+    lint_contexts(contexts)  # all three stages
+    assert len(built) == 1

@@ -1,0 +1,128 @@
+"""Regression tests for the concurrency hazards ASYNC001/ASYNC004 found.
+
+zuglint's aio stage flagged three real interleavings in the TCP runtime:
+``connect_all`` check-then-dial-then-store spanning awaits (two racing
+callers could dial a peer twice and leak the loser's socket), a writer
+leaked when the hello/drain fails mid-handshake, and
+``AsyncioCluster.start`` publishing ``self.peers``/``self.hosted``
+incrementally across awaits.  These tests pin the fixed behavior.
+"""
+
+import asyncio
+
+import hypothesis  # noqa: F401  (pre-import: see test_asyncio_runtime.py)
+import pytest
+
+from repro.runtime.asyncio_runtime import AsyncioCluster, AsyncioEnv
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _start_listener(accepted):
+    """A hello-reading server that counts accepted connections."""
+
+    async def on_connect(reader, writer):
+        accepted.append(await reader.readline())
+
+    server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    return server, port
+
+
+def test_concurrent_connect_all_dials_each_peer_once():
+    """The connection lock makes check-then-store atomic per call."""
+
+    async def scenario():
+        accepted: list[bytes] = []
+        server_a, port_a = await _start_listener(accepted)
+        server_b, port_b = await _start_listener(accepted)
+        env = AsyncioEnv("node-0", {
+            "node-0": ("127.0.0.1", 0),
+            "node-1": ("127.0.0.1", port_a),
+            "node-2": ("127.0.0.1", port_b),
+        })
+        try:
+            await asyncio.gather(env.connect_all(), env.connect_all())
+            await asyncio.sleep(0.05)  # let the listeners count accepts
+            assert sorted(env._writers) == ["node-1", "node-2"]
+            assert len(accepted) == 2  # one dial per peer, not per caller
+        finally:
+            await env.close()
+            for server in (server_a, server_b):
+                server.close()
+                await server.wait_closed()
+
+    run(scenario())
+
+
+class _FailingWriter:
+    """StreamWriter stand-in whose drain() fails mid-handshake."""
+
+    def __init__(self):
+        self.closed = False
+
+    def write(self, data):
+        pass
+
+    async def drain(self):
+        raise ConnectionResetError("peer vanished during hello")
+
+    def close(self):
+        self.closed = True
+
+    def is_closing(self):
+        return self.closed
+
+
+def test_failed_handshake_closes_writer_and_stores_nothing(monkeypatch):
+    async def scenario():
+        writer = _FailingWriter()
+
+        async def fake_open_connection(host, port):
+            return object(), writer
+
+        monkeypatch.setattr(asyncio, "open_connection", fake_open_connection)
+        env = AsyncioEnv("node-0", {"node-1": ("127.0.0.1", 1)})
+        with pytest.raises(ConnectionResetError):
+            await env.connect_all()
+        assert writer.closed
+        assert env._writers == {}
+
+    run(scenario())
+
+
+def test_cluster_start_twice_fails_fast_without_double_bind():
+    async def scenario():
+        cluster = AsyncioCluster(lambda env: object(), n=2)
+        await cluster.start()
+        try:
+            servers = {node_id: h.server for node_id, h in cluster.hosted.items()}
+            with pytest.raises(RuntimeError, match="called twice"):
+                await cluster.start()
+            # The first fleet is untouched: same servers, same peer map.
+            assert {n: h.server for n, h in cluster.hosted.items()} == servers
+            assert sorted(cluster.peers) == ["node-0", "node-1"]
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_concurrent_cluster_starts_admit_exactly_one():
+    """The check-and-set precedes the first await, so it is loop-atomic."""
+
+    async def scenario():
+        cluster = AsyncioCluster(lambda env: object(), n=2)
+        results = await asyncio.gather(
+            cluster.start(), cluster.start(), return_exceptions=True,
+        )
+        try:
+            failures = [r for r in results if isinstance(r, RuntimeError)]
+            assert len(failures) == 1
+            assert len(cluster.hosted) == 2
+        finally:
+            await cluster.stop()
+
+    run(scenario())
