@@ -16,7 +16,7 @@ from repro.analysis import format_table
 from repro.faults import ByzantineSpec
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
-from benchmarks._sweeps import SMOKE, WARMUP_S
+from repro.sweep import SMOKE, WARMUP_S
 
 _DURATION_S = 6.0 if SMOKE else 20.0
 

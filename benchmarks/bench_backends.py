@@ -10,7 +10,7 @@ signature verifications per request and lower network utilization.
 from repro.analysis import format_table, ratio
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
-from benchmarks._sweeps import DURATION_S, SMOKE, WARMUP_S
+from repro.sweep import DURATION_S, SMOKE, WARMUP_S
 
 
 def _run(backend: str):

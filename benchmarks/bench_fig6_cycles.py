@@ -7,9 +7,9 @@ baseline cannot keep up and latency explodes (up to 828x in the 5-minute
 runs; the factor grows with run length since the backlog is unbounded).
 """
 
-from repro.analysis import Sweep, format_table, ratio
+from repro.analysis import format_table, ratio
 
-from benchmarks._sweeps import BUS_CYCLES_S, SMOKE, cycle_sweep, sweep_point
+from repro.sweep import SMOKE, cycle_sweep
 
 
 def bench_fig6_cycles(benchmark):

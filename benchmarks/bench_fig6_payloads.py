@@ -7,7 +7,7 @@ and the baseline's network utilization stays ~4x.
 
 from repro.analysis import format_table, ratio
 
-from benchmarks._sweeps import PAYLOAD_BYTES, SMOKE, payload_sweep
+from repro.sweep import PAYLOAD_BYTES, SMOKE, payload_sweep
 
 
 def bench_fig6_payloads(benchmark):

@@ -7,7 +7,7 @@ memory (up to 6.3x at the overloaded 32 ms cycle, where its queues grow).
 
 from repro.analysis import format_table, ratio
 
-from benchmarks._sweeps import SMOKE, cycle_sweep
+from repro.sweep import SMOKE, cycle_sweep
 
 
 def bench_fig7_cycles(benchmark):

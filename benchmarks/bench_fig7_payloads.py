@@ -6,7 +6,7 @@ and the baseline's memory 1.6-1.7x ZugChain's.
 
 from repro.analysis import format_table, ratio
 
-from benchmarks._sweeps import SMOKE, payload_sweep
+from repro.sweep import SMOKE, payload_sweep
 
 
 def bench_fig7_payloads(benchmark):

@@ -12,7 +12,7 @@ from repro.analysis import format_table
 from repro.faults import ByzantineSpec
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
-from benchmarks._sweeps import SMOKE
+from repro.sweep import SMOKE
 
 # Smoke mode still leaves ~3 s of steady state before the crash and ~8 s
 # after — enough for one complete view change plus recovery.

@@ -13,7 +13,7 @@ from repro.analysis import format_table
 from repro.faults import ByzantineSpec
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
-from benchmarks._sweeps import DURATION_S, SMOKE, WARMUP_S
+from repro.sweep import DURATION_S, SMOKE, WARMUP_S
 
 FABRICATION_RATES = (0.0, 0.25, 0.75, 1.0)
 

@@ -10,7 +10,7 @@ from repro.jru import check_requirements
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 from repro.sim.resources import CostModel
 
-from benchmarks._sweeps import DURATION_S, SMOKE, WARMUP_S
+from repro.sweep import DURATION_S, SMOKE, WARMUP_S
 
 
 def bench_jru_requirements(benchmark):

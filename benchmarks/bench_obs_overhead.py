@@ -14,7 +14,7 @@ that contract two ways:
 from repro.obs import NULL_TRACER, RecordingTracer
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
-from benchmarks._sweeps import SMOKE
+from repro.sweep import SMOKE
 
 _CALLS = 100_000
 

@@ -11,7 +11,7 @@ continuous export or export during stops is feasible.
 from repro.analysis import format_table
 from repro.export.scenario import ExportScenario, ExportScenarioConfig
 
-from benchmarks._sweeps import SMOKE
+from repro.sweep import SMOKE
 
 # Smoke keeps the representative 2 000-block point so the benchmark's
 # timed round stays in the sweep.

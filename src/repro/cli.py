@@ -1,12 +1,20 @@
-"""Command-line interface: run scenarios, exports, and analyses.
+"""Command-line interface: run scenarios, sweeps, exports, and analyses.
 
 Examples::
 
     python -m repro run --system zugchain --cycle-ms 64 --duration 60
     python -m repro run --system baseline --cycle-ms 32 --payload 1024
+    python -m repro run --cycle-ms 32 64 128 256 --jobs 4 --duration 24
+    python -m repro bench --jobs 4 --compare-serial
     python -m repro export --blocks 2000 --datacenters 2
     python -m repro reliability --destroy-prob 0.1 --target 1e-4
     python -m repro requirements --cycle-ms 64 --payload 8192
+
+Passing more than one value to ``--cycle-ms`` / ``--payload`` (or more
+than one ``--system``) turns ``run`` into a sweep over the cartesian
+product of the axes, executed through :mod:`repro.sweep` — ``--jobs N``
+shards the points across N worker processes and the merged output is
+byte-identical to the serial run.
 """
 
 from __future__ import annotations
@@ -14,11 +22,21 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis import format_table
 from repro.export.scenario import ExportScenario, ExportScenarioConfig
 from repro.jru import check_requirements, required_nodes_for_target, survival_probability
 from repro.obs.sinks import write_trace
 from repro.obs.trace import RecordingTracer
+from repro.runtime.wallclock import today_str, wall_timer
 from repro.scenarios import ScenarioConfig, SimulatedCluster
+from repro.sweep import (
+    BenchRecorder,
+    cycle_sweep_spec,
+    default_bench_path,
+    grid_sweep_spec,
+    payload_sweep_spec,
+    run_sweep,
+)
 
 
 def _add_run_parser(subparsers) -> None:
@@ -28,15 +46,49 @@ def _add_run_parser(subparsers) -> None:
                         help="sim: deterministic simulator; tcp: real asyncio "
                              "sockets on localhost (zugchain only, wall-clock "
                              "paced, trace timestamps are debug-grade)")
-    parser.add_argument("--cycle-ms", type=float, default=64.0, help="bus cycle time")
-    parser.add_argument("--payload", type=int, default=1024, help="payload bytes per cycle")
+    parser.add_argument("--cycle-ms", type=float, nargs="+", default=[64.0],
+                        metavar="MS", help="bus cycle time(s); more than one "
+                                           "value turns the run into a sweep")
+    parser.add_argument("--payload", type=int, nargs="+", default=[1024],
+                        metavar="BYTES", help="payload bytes per cycle; more "
+                                              "than one value sweeps the axis")
     parser.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
     parser.add_argument("--warmup", type=float, default=3.0)
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep mode (points are "
+                             "seed-isolated; the merged output is byte-"
+                             "identical to --jobs 1)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record a JSONL trace (summarize with "
-                             "'python -m repro.obs summary PATH')")
+                             "'python -m repro.obs summary PATH'; "
+                             "single-point runs only)")
+    parser.add_argument("--record-bench", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="time the run and write a BENCH_<date>.json "
+                             "artifact (default name when PATH is omitted)")
+
+
+def _add_bench_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench", help="time the figure sweeps and write a BENCH_<date>.json artifact"
+    )
+    parser.add_argument("--suite", choices=("cycles", "payloads", "all"),
+                        default="all", help="which figure sweeps to time")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per sweep")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds per point (default: the "
+                             "benchmark suite's smoke/full setting)")
+    parser.add_argument("--warmup", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--compare-serial", action="store_true",
+                        help="also run each sweep serially and record the "
+                             "serial-vs-parallel speedup (checks the merged "
+                             "outputs are byte-identical)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="artifact path (default: ./BENCH_<date>.json)")
 
 
 def _add_export_parser(subparsers) -> None:
@@ -68,7 +120,17 @@ def _add_requirements_parser(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=42)
 
 
+def _write_bench(recorder: BenchRecorder, path_arg: str, out) -> str:
+    date = today_str()
+    path = path_arg or default_bench_path(date)
+    recorder.write(path, date)
+    print(f"bench         : wrote {path}", file=out)
+    return path
+
+
 def _cmd_run(args, out) -> int:
+    if len(args.cycle_ms) > 1 or len(args.payload) > 1:
+        return _cmd_run_sweep(args, out)
     if args.runtime == "tcp":
         return _cmd_run_tcp(args, out)
     tracer = RecordingTracer() if args.trace else None
@@ -76,10 +138,18 @@ def _cmd_run(args, out) -> int:
         system=args.system,
         n=args.nodes,
         seed=args.seed,
-        cycle_time_s=args.cycle_ms / 1000.0,
-        payload_bytes=args.payload,
+        cycle_time_s=args.cycle_ms[0] / 1000.0,
+        payload_bytes=args.payload[0],
     ), tracer=tracer)
-    result = cluster.run(duration_s=args.duration, warmup_s=args.warmup)
+    recorder = (BenchRecorder(wall_timer())
+                if args.record_bench is not None else None)
+    if recorder is not None:
+        elapsed, result = recorder.time_call(
+            lambda: cluster.run(duration_s=args.duration, warmup_s=args.warmup))
+        recorder.record_suite(f"cli:run:{args.system}", [elapsed], units=1,
+                              sim_seconds=args.duration, jobs=1)
+    else:
+        result = cluster.run(duration_s=args.duration, warmup_s=args.warmup)
     print(result.summary_row(), file=out)
     print(f"p99 latency   : {result.p99_latency_s * 1000:.2f} ms", file=out)
     print(f"logged        : {result.requests_logged}/{result.requests_expected}", file=out)
@@ -90,6 +160,114 @@ def _cmd_run(args, out) -> int:
     if tracer is not None:
         count = write_trace(tracer.iter_events(), args.trace)
         print(f"trace         : {count} events -> {args.trace}", file=out)
+    if recorder is not None:
+        _write_bench(recorder, args.record_bench, out)
+    return 0
+
+
+def _cmd_run_sweep(args, out) -> int:
+    """Multi-value axes: run the cartesian product through repro.sweep."""
+    if args.runtime == "tcp":
+        print("repro run: sweep mode supports --runtime sim only", file=sys.stderr)
+        return 2
+    if args.trace:
+        print("repro run: --trace applies to single-point runs only", file=sys.stderr)
+        return 2
+    if args.nodes != 4:
+        print("repro run: sweep mode runs the paper's 4-node cluster", file=sys.stderr)
+        return 2
+    spec = grid_sweep_spec(
+        f"cli:{args.system}",
+        (args.system,),
+        [ms / 1000.0 for ms in args.cycle_ms],
+        args.payload,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        seed=args.seed,
+    )
+    recorder = (BenchRecorder(wall_timer())
+                if args.record_bench is not None else None)
+    if recorder is not None:
+        elapsed, sweep = recorder.time_call(
+            lambda: run_sweep(spec, jobs=args.jobs))
+        recorder.record_suite(f"cli:sweep:{args.system}", [elapsed],
+                              units=len(spec),
+                              sim_seconds=sum(p.duration_s for p in spec),
+                              jobs=args.jobs)
+    else:
+        sweep = run_sweep(spec, jobs=args.jobs)
+    rows = []
+    for point, result in zip(spec, sweep.results):
+        rows.append([
+            f"{point.cycle_time_s * 1000:.0f} ms",
+            f"{point.payload_bytes} B",
+            f"{result.mean_latency_s * 1000:.2f} ms",
+            f"{result.p99_latency_s * 1000:.2f} ms",
+            f"{result.network_utilization * 100:.3f} %",
+            f"{result.requests_logged}/{result.requests_expected}",
+            f"{result.view_changes}",
+        ])
+    print(format_table(
+        ["cycle", "payload", "mean lat", "p99 lat", "net util", "logged", "vc"],
+        rows,
+        title=f"sweep {spec.name}: {len(spec)} points, jobs={args.jobs} "
+              f"({sweep.stats.executed} executed, {sweep.stats.cached} cached)",
+    ), file=out)
+    print(f"spec hash     : {spec.spec_hash()[:16]}…", file=out)
+    if recorder is not None:
+        _write_bench(recorder, args.record_bench, out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.sweep import figures
+
+    duration = args.duration if args.duration is not None else figures.DURATION_S
+    warmup = args.warmup if args.warmup is not None else figures.WARMUP_S
+    overload = figures.OVERLOAD_DURATION_S if args.duration is None else None
+    specs = []
+    if args.suite in ("cycles", "all"):
+        specs += [
+            cycle_sweep_spec(system, duration_s=duration, warmup_s=warmup,
+                             seed=args.seed, overload_duration_s=overload)
+            for system in ("zugchain", "baseline")
+        ]
+    if args.suite in ("payloads", "all"):
+        specs += [
+            payload_sweep_spec(system, duration_s=duration, warmup_s=warmup,
+                               seed=args.seed)
+            for system in ("zugchain", "baseline")
+        ]
+    recorder = BenchRecorder(wall_timer())
+    rows = []
+    for spec in specs:
+        elapsed, sweep = recorder.time_call(
+            lambda spec=spec: run_sweep(spec, jobs=args.jobs))
+        entry = recorder.record_suite(
+            spec.name, [elapsed], units=len(spec),
+            sim_seconds=sum(p.duration_s for p in spec), jobs=args.jobs)
+        if args.compare_serial:
+            serial_s, serial = recorder.time_call(
+                lambda spec=spec: run_sweep(spec, jobs=1))
+            identical = serial.to_json() == sweep.to_json()
+            recorder.record_speedup(
+                f"{spec.name}:serial_vs_jobs{args.jobs}",
+                before_s=serial_s, after_s=elapsed, jobs=args.jobs,
+                extra={"byte_identical": identical})
+            if not identical:
+                print(f"repro bench: {spec.name}: parallel output diverged "
+                      f"from serial", file=sys.stderr)
+                return 1
+        rows.append([spec.name, f"{len(spec)}", f"{elapsed:.2f} s",
+                     f"{entry['sim_speedup']:.1f}x"])
+    print(format_table(
+        ["suite", "points", "wall", "sim-x"], rows,
+        title=f"bench suites (jobs={args.jobs})",
+    ), file=out)
+    date = today_str()
+    path = args.out or default_bench_path(date)
+    recorder.write(path, date)
+    print(f"artifact      : {path}", file=out)
     return 0
 
 
@@ -100,14 +278,14 @@ def _cmd_run_tcp(args, out) -> int:
         print("repro run: --runtime tcp supports --system zugchain only",
               file=sys.stderr)
         return 2
-    cycle_time_s = args.cycle_ms / 1000.0
+    cycle_time_s = args.cycle_ms[0] / 1000.0
     cycles = max(1, round(args.duration / cycle_time_s))
     tracer = RecordingTracer() if args.trace else None
     config = TcpScenarioConfig(
         n=args.nodes,
         cycles=cycles,
         cycle_time_s=cycle_time_s,
-        payload_bytes=args.payload,
+        payload_bytes=args.payload[0],
     )
     result = run_tcp_scenario(config, tracer=tracer)
     print(f"runtime       : tcp ({args.nodes} nodes, {cycles} bus cycles "
@@ -176,12 +354,14 @@ def main(argv: list[str] | None = None, out=None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(subparsers)
+    _add_bench_parser(subparsers)
     _add_export_parser(subparsers)
     _add_reliability_parser(subparsers)
     _add_requirements_parser(subparsers)
     args = parser.parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "bench": _cmd_bench,
         "export": _cmd_export,
         "reliability": _cmd_reliability,
         "requirements": _cmd_requirements,

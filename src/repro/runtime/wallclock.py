@@ -1,0 +1,25 @@
+"""Sanctioned wall-clock access for real-time measurement.
+
+The determinism linter (DET001) bans wall-clock reads everywhere except
+the runtime layer — simulated code must take time from ``env.now()``.
+Benchmark harnesses genuinely measure wall time, so this module is the
+one place that hands it out: callers *inject* these callables into
+otherwise clock-free code (e.g. :class:`repro.sweep.bench.BenchRecorder`
+takes a ``clock`` parameter), which keeps that code deterministic under
+test (tests inject a fake) and honest in production.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def wall_timer() -> Callable[[], float]:
+    """A monotonic high-resolution timer for wall-time measurement."""
+    return time.perf_counter
+
+
+def today_str() -> str:
+    """Local date as ``YYYY-MM-DD`` — stamps benchmark artifact names."""
+    return time.strftime("%Y-%m-%d")

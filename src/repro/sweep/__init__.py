@@ -1,0 +1,85 @@
+"""repro.sweep — the parallel sweep engine behind the figure benchmarks.
+
+The paper's figures are sweeps of independent, seed-isolated measurement
+points.  This package makes that structure explicit and exploitable:
+
+* :mod:`repro.sweep.model` — :class:`SweepPoint`/:class:`SweepSpec`
+  value objects with stable content hashes and canonical point order;
+* :mod:`repro.sweep.executor` — one ``run_point`` execution path behind
+  a serial executor and a :class:`ProcessExecutor` sharded by point;
+* :mod:`repro.sweep.engine` — ``run_sweep`` with a deterministic merge:
+  results reassemble into spec order regardless of worker completion
+  order, so serial and parallel runs are byte-identical;
+* :mod:`repro.sweep.cache` — the explicit (point hash, seed) result
+  cache replacing ad-hoc ``lru_cache`` memoization, trace payloads never
+  retained;
+* :mod:`repro.sweep.figures` — the paper's cycle/payload sweeps plus the
+  ``ZUGCHAIN_BENCH_{SMOKE,TRACE,JOBS}`` settings the benchmarks use;
+* :mod:`repro.sweep.bench` — the benchmark-trajectory recorder writing
+  ``BENCH_<date>.json`` artifacts.
+"""
+
+from repro.sweep.bench import BenchRecorder, default_bench_path, summarize
+from repro.sweep.cache import PointCache
+from repro.sweep.engine import SweepResult, run_sweep
+from repro.sweep.envelope import PointEnvelope, SweepRunStats
+from repro.sweep.executor import ProcessExecutor, SerialExecutor, make_executor, run_point
+from repro.sweep.figures import (
+    DURATION_S,
+    JOBS,
+    POINT_CACHE,
+    SMOKE,
+    TRACE,
+    WARMUP_S,
+    cycle_sweep,
+    cycle_sweep_result,
+    payload_sweep,
+    payload_sweep_result,
+    sweep_point,
+)
+from repro.sweep.model import (
+    BUS_CYCLES_S,
+    DEFAULT_CYCLE_S,
+    DEFAULT_PAYLOAD,
+    PAYLOAD_BYTES,
+    SweepPoint,
+    SweepSpec,
+    cycle_sweep_spec,
+    grid_sweep_spec,
+    payload_sweep_spec,
+)
+
+__all__ = [
+    "BUS_CYCLES_S",
+    "BenchRecorder",
+    "DEFAULT_CYCLE_S",
+    "DEFAULT_PAYLOAD",
+    "DURATION_S",
+    "JOBS",
+    "PAYLOAD_BYTES",
+    "POINT_CACHE",
+    "PointCache",
+    "PointEnvelope",
+    "ProcessExecutor",
+    "SMOKE",
+    "SerialExecutor",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunStats",
+    "SweepSpec",
+    "TRACE",
+    "WARMUP_S",
+    "cycle_sweep",
+    "cycle_sweep_result",
+    "cycle_sweep_spec",
+    "default_bench_path",
+    "grid_sweep_spec",
+    "make_executor",
+    "payload_sweep",
+    "payload_sweep_result",
+    "payload_sweep_spec",
+    "run_point",
+    "run_sweep",
+    "summarize",
+    "sweep_point",
+]

@@ -1,0 +1,143 @@
+"""Benchmark-trajectory recorder: perf claims that outlive their PR.
+
+Every performance claim in this repository used to die with the PR that
+made it — there was no artifact to diff the next optimization against.
+:class:`BenchRecorder` fixes that: it collects wall-time samples per
+suite (mean / median / p99 + throughput), plus explicit before/after
+speedup entries for A/B claims like "the parallel sweep is ≥2× faster at
+``--jobs 4``", and writes one ``BENCH_<date>.json`` artifact with a
+stable schema that future sessions can extend and compare.
+
+The recorder never reads a clock itself — callers inject one (use
+:func:`repro.runtime.wallclock.wall_timer` in production, a fake in
+tests), so this module stays clean under the determinism linter and the
+schema is testable byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Callable
+
+SCHEMA = "zugchain-bench/1"
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Upper-interpolation percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def summarize(samples: list[float]) -> dict[str, float]:
+    """mean/median/p99/min/max of wall-time samples (seconds)."""
+    if not samples:
+        return {"count": 0, "mean_s": 0.0, "median_s": 0.0,
+                "p99_s": 0.0, "min_s": 0.0, "max_s": 0.0}
+    return {
+        "count": len(samples),
+        "mean_s": sum(samples) / len(samples),
+        "median_s": _percentile(samples, 0.5),
+        "p99_s": _percentile(samples, 0.99),
+        "min_s": min(samples),
+        "max_s": max(samples),
+    }
+
+
+class BenchRecorder:
+    """Collects suite timings and speedup entries, writes one artifact."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.suites: dict[str, dict] = {}
+        self.speedups: dict[str, dict] = {}
+
+    # -- timing ----------------------------------------------------------------
+
+    def time_call(self, fn: Callable[[], object]) -> tuple[float, object]:
+        """Run ``fn`` once, returning (wall seconds, its result)."""
+        start = self._clock()
+        value = fn()
+        return self._clock() - start, value
+
+    def record_suite(
+        self,
+        name: str,
+        samples_s: list[float],
+        *,
+        units: int = 0,
+        sim_seconds: float = 0.0,
+        jobs: int = 1,
+        extra: dict | None = None,
+    ) -> dict:
+        """Record one suite's wall-time samples.
+
+        ``units`` is the work count behind each sample (sweep points,
+        requests, ...) and drives the throughput figure; ``sim_seconds``
+        is the simulated time covered per sample, giving the
+        sim-seconds-per-wall-second ratio the DES cares about.
+        """
+        stats = summarize(samples_s)
+        mean = stats["mean_s"]
+        entry = {
+            **stats,
+            "jobs": jobs,
+            "units": units,
+            "sim_seconds": sim_seconds,
+            "throughput_units_per_s": (units / mean) if mean > 0 else 0.0,
+            "sim_speedup": (sim_seconds / mean) if mean > 0 else 0.0,
+        }
+        if extra:
+            entry.update(extra)
+        self.suites[name] = entry
+        return entry
+
+    def record_speedup(
+        self,
+        name: str,
+        *,
+        before_s: float,
+        after_s: float,
+        jobs: int,
+        extra: dict | None = None,
+    ) -> dict:
+        """Record a before/after wall-time comparison (e.g. serial vs --jobs N)."""
+        entry = {
+            "before_s": before_s,
+            "after_s": after_s,
+            "jobs": jobs,
+            "speedup": (before_s / after_s) if after_s > 0 else 0.0,
+        }
+        if extra:
+            entry.update(extra)
+        self.speedups[name] = entry
+        return entry
+
+    # -- output -----------------------------------------------------------------
+
+    def to_dict(self, date: str) -> dict:
+        return {
+            "schema": SCHEMA,
+            "date": date,
+            "host": {
+                "cpu_count": os.cpu_count() or 1,
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+            "suites": {name: self.suites[name] for name in sorted(self.suites)},
+            "speedups": {name: self.speedups[name] for name in sorted(self.speedups)},
+        }
+
+    def write(self, path: str, date: str) -> str:
+        """Write the artifact to ``path`` (rendered with sorted keys)."""
+        payload = json.dumps(self.to_dict(date), sort_keys=True, indent=2) + "\n"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        return path
+
+
+def default_bench_path(date: str, directory: str = ".") -> str:
+    """The conventional artifact name: ``BENCH_<date>.json``."""
+    return os.path.join(directory, f"BENCH_{date}.json")

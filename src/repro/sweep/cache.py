@@ -1,0 +1,62 @@
+"""Per-point result cache keyed on (point hash, seed).
+
+Replaces the old in-process ``functools.lru_cache`` memoization of
+``benchmarks/_sweeps.sweep_point`` with an explicit cache that
+
+* keys on the point's *content hash* plus its seed, so any change to any
+  axis (duration, backend, trace flag, ...) is a miss — no accidental
+  sharing between specs that merely look alike;
+* strips trace payloads on insert (:meth:`PointEnvelope.drop_trace`), so
+  a cached figure suite holds only digested scalars and dicts per point,
+  never a full per-point trace for the whole benchmark session;
+* is shareable across sweeps on purpose: Fig. 6 and Fig. 7 report
+  different columns of the *same* runs, and a shared cache keeps that
+  "simulate once, report twice" property of the old memoization.
+
+Entries store the envelope with a neutral index; :meth:`get` re-stamps
+the caller's position so one cached run can appear at different indexes
+in different specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sweep.envelope import PointEnvelope
+from repro.sweep.model import SweepPoint
+
+
+class PointCache:
+    """Explicit (point hash, seed) → envelope cache with hit accounting."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, int], PointEnvelope] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, point: SweepPoint, index: int = 0) -> PointEnvelope | None:
+        entry = self._entries.get(point.cache_key())
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return replace(entry, index=index)
+
+    def put(self, point: SweepPoint, envelope: PointEnvelope) -> None:
+        """Insert ``envelope``, dropping its trace payload first.
+
+        The cache must never pin trace events: callers that want the raw
+        trace consume it *before* the envelope is cached (the engine does
+        this ordering), and everyone later gets the digested result.
+        """
+        entry = replace(envelope, index=-1)
+        entry.drop_trace()
+        self._entries[point.cache_key()] = entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,130 @@
+"""The sweep engine: cache lookup, executor fan-out, deterministic merge.
+
+``run_sweep`` is the one entry point: it resolves each spec point against
+the optional :class:`~repro.sweep.cache.PointCache`, farms the misses to
+an executor (serial or process-sharded), and merges the envelopes back
+into the spec's canonical point order — *regardless of worker completion
+order*.  The merged :class:`SweepResult` therefore renders byte-identical
+JSON for serial and parallel runs of the same spec and seed; the
+determinism suite pins exactly that.
+
+Merge contract:
+
+* results are reassembled by envelope index into spec order — never by
+  completion, never by dict insertion;
+* the sweep-level metrics fold replays each point's aggregated cluster
+  counters (:attr:`~repro.scenarios.ScenarioResult.metrics`) into one
+  :class:`~repro.obs.metrics.MetricsRegistry` in that same canonical
+  order, so counter totals and their sorted rendering cannot depend on
+  scheduling;
+* per-phase latency breakdowns travel inside each ``ScenarioResult``
+  (they were computed in the worker from its private tracer) and are
+  reported per point, keyed by the point's position.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sweep.cache import PointCache
+from repro.sweep.envelope import PointEnvelope, SweepRunStats
+from repro.sweep.executor import make_executor
+from repro.sweep.model import SweepPoint, SweepSpec
+from repro.util.errors import ProtocolError
+
+
+class SweepResult:
+    """A finished sweep: envelopes in canonical order plus run stats."""
+
+    def __init__(self, spec: SweepSpec, envelopes: list[PointEnvelope],
+                 stats: SweepRunStats) -> None:
+        self.spec = spec
+        self.envelopes = envelopes
+        self.stats = stats
+
+    @property
+    def results(self) -> list:
+        """The per-point :class:`ScenarioResult` list, in spec order."""
+        return [envelope.result for envelope in self.envelopes]
+
+    @property
+    def head_hashes(self) -> list[str]:
+        """Chain head hash per point — the fixed-seed determinism anchor."""
+        return [envelope.head_hash for envelope in self.envelopes]
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """One registry folding every point's cluster counters, in order."""
+        merged = MetricsRegistry(node=f"sweep:{self.spec.name}")
+        for envelope in self.envelopes:
+            merged.inc_from(envelope.result.metrics)
+        return merged
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "spec_hash": self.spec.spec_hash(),
+            "points": [envelope.to_dict() for envelope in self.envelopes],
+            "merged_counters": self.merged_metrics().counter_values(),
+        }
+
+    def to_json(self) -> bytes:
+        """Canonical JSON bytes; identical for serial and parallel runs."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")).encode()
+
+
+def _merge(spec: SweepSpec, envelopes: Iterable[PointEnvelope],
+           stats: SweepRunStats) -> SweepResult:
+    by_index: dict[int, PointEnvelope] = {}
+    for envelope in envelopes:
+        if envelope.index in by_index:
+            raise ProtocolError(f"duplicate sweep point index {envelope.index}")
+        by_index[envelope.index] = envelope
+    missing = [i for i in range(len(spec)) if i not in by_index]
+    if missing:
+        raise ProtocolError(f"sweep {spec.name!r} lost points {missing}")
+    ordered = [by_index[i] for i in range(len(spec))]
+    for index, (point, envelope) in enumerate(zip(spec, ordered)):
+        if envelope.point_hash != point.point_hash():
+            raise ProtocolError(
+                f"sweep {spec.name!r} point {index}: envelope does not match spec"
+            )
+    return SweepResult(spec, ordered, stats)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache: PointCache | None = None,
+    executor=None,
+    keep_trace: bool = False,
+) -> SweepResult:
+    """Run ``spec`` and return merged results in canonical point order.
+
+    ``jobs`` selects the executor (1 = serial, N = process pool sharded
+    by point) unless an explicit ``executor`` is injected; ``cache``
+    short-circuits points whose (point hash, seed) key already ran.
+    """
+    stats = SweepRunStats()
+    envelopes: list[PointEnvelope] = []
+    pending: list[tuple[int, SweepPoint]] = []
+    for index, point in enumerate(spec):
+        hit = cache.get(point, index) if cache is not None else None
+        if hit is not None:
+            stats.cached += 1
+            envelopes.append(hit)
+        else:
+            pending.append((index, point))
+
+    executor = executor if executor is not None else make_executor(jobs)
+    for envelope in executor.run(pending, keep_trace):
+        stats.executed += 1
+        stats.completion_order.append(envelope.index)
+        if cache is not None:
+            point = spec.points[envelope.index]
+            cache.put(point, envelope)
+        envelopes.append(envelope)
+    return _merge(spec, envelopes, stats)

@@ -1,0 +1,65 @@
+"""The picklable per-point result envelope workers hand back.
+
+A worker process cannot return the live :class:`~repro.scenarios.SimulatedCluster`
+(kernels, networks, and tracers do not belong on a pipe), so it returns a
+:class:`PointEnvelope`: the digested :class:`~repro.scenarios.ScenarioResult`
+(plain scalars and dicts — including the aggregated cluster counters and,
+for traced points, the per-phase latency breakdown), the chain head hash
+for determinism checks, and optionally the raw trace events.
+
+Trace payloads are the one potentially huge field, so they are *consumed*,
+not retained: :meth:`PointEnvelope.consume_trace` hands the events out
+exactly once and drops the reference, and the point cache strips them on
+insert — a cached sweep suite never holds a full trace per point alive
+(the failure mode of the old ``lru_cache`` memoization, which pinned
+every result for the whole benchmark session).
+
+``tests/sweep/test_pickle_roundtrip.py`` guards every field of the
+envelope (and of ``ScenarioResult``/``ClusterMetrics``/phase snapshots)
+against silently unpicklable additions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.scenarios import ScenarioResult
+
+
+@dataclass
+class PointEnvelope:
+    """One point's results, safe to pickle across a process boundary."""
+
+    index: int                         # position in the spec's canonical order
+    point_hash: str                    # SweepPoint.point_hash() of the input
+    result: ScenarioResult
+    head_hash: str = ""                # chain head block hash (hex), "" if empty chain
+    chain_height: int = 0
+    trace_events: list[tuple] | None = None
+
+    def consume_trace(self) -> list[tuple] | None:
+        """Return the recorded trace events once, dropping the reference."""
+        events, self.trace_events = self.trace_events, None
+        return events
+
+    def drop_trace(self) -> None:
+        self.trace_events = None
+
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict rendering (trace payload excluded)."""
+        return {
+            "index": self.index,
+            "point_hash": self.point_hash,
+            "head_hash": self.head_hash,
+            "chain_height": self.chain_height,
+            "result": asdict(self.result),
+        }
+
+
+@dataclass
+class SweepRunStats:
+    """Execution bookkeeping the merge attaches to a finished sweep."""
+
+    executed: int = 0                  # points actually simulated this run
+    cached: int = 0                    # points served from the point cache
+    completion_order: list[int] = field(default_factory=list)

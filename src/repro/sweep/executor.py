@@ -1,0 +1,105 @@
+"""Point executors: serial in-process and sharded across worker processes.
+
+Both executors consume ``(index, point)`` work items and produce
+:class:`~repro.sweep.envelope.PointEnvelope` results *in whatever order
+they complete* — ordering is explicitly not an executor concern, the
+engine's merge reassembles canonical order from the envelope indexes.
+That split is what makes the two execution modes provably equivalent:
+each point runs the identical module-level :func:`run_point` function
+from the identical frozen :class:`~repro.sweep.model.SweepPoint`, and
+the only difference is which process hosts the call.
+
+The process executor shards *by point*: each worker builds its own
+:class:`~repro.scenarios.SimulatedCluster` from the point's seed, so no
+simulation state ever crosses a process boundary — only the frozen
+point in and the picklable envelope out.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Iterable, Sequence
+
+from repro.obs.trace import RecordingTracer
+from repro.scenarios import ScenarioConfig, SimulatedCluster
+from repro.sweep.envelope import PointEnvelope
+from repro.sweep.model import SweepPoint
+from repro.util.errors import ConfigError
+
+
+def run_point(index: int, point: SweepPoint, keep_trace: bool = False) -> PointEnvelope:
+    """Run one measurement point and envelope its results.
+
+    This is the single execution path for every mode — serial, process
+    pool, cache refill — so parallel and serial sweeps of one spec are
+    the same computation by construction.
+    """
+    tracer = RecordingTracer() if point.trace else None
+    cluster = SimulatedCluster(
+        ScenarioConfig(
+            system=point.system,
+            cycle_time_s=point.cycle_time_s,
+            payload_bytes=point.payload_bytes,
+            seed=point.seed,
+            bft_backend=point.bft_backend,
+        ),
+        tracer=tracer,
+    )
+    result = cluster.run(duration_s=point.duration_s, warmup_s=point.warmup_s)
+    chain = cluster.nodes[cluster.ids[0]].chain
+    head_hash = chain.head.block_hash.hex() if chain.height > 0 else ""
+    events = None
+    if tracer is not None and keep_trace:
+        events = list(tracer.iter_events())
+    return PointEnvelope(
+        index=index,
+        point_hash=point.point_hash(),
+        result=result,
+        head_hash=head_hash,
+        chain_height=chain.height,
+        trace_events=events,
+    )
+
+
+class SerialExecutor:
+    """Run every point in this process, in spec order."""
+
+    jobs = 1
+
+    def run(self, items: Sequence[tuple[int, SweepPoint]],
+            keep_trace: bool = False) -> Iterable[PointEnvelope]:
+        for index, point in items:
+            yield run_point(index, point, keep_trace)
+
+
+class ProcessExecutor:
+    """Shard points across a :class:`ProcessPoolExecutor`.
+
+    Results are yielded as workers finish — deliberately *not* in
+    submission order, so the engine's merge is exercised on every
+    parallel run rather than only when the scheduler happens to reorder.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ConfigError(f"need at least one worker, got jobs={jobs}")
+        self.jobs = jobs
+
+    def run(self, items: Sequence[tuple[int, SweepPoint]],
+            keep_trace: bool = False) -> Iterable[PointEnvelope]:
+        if not items:
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+            pending: set[Future] = {
+                pool.submit(run_point, index, point, keep_trace)
+                for index, point in items
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+
+
+def make_executor(jobs: int):
+    """Pick the executor for a worker count (1 → serial)."""
+    return SerialExecutor() if jobs <= 1 else ProcessExecutor(jobs)

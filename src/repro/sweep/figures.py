@@ -1,0 +1,112 @@
+"""The paper's figure sweeps on the sweep engine, with env-driven settings.
+
+This module is the benchmarks' entry point into :mod:`repro.sweep`: it
+owns the smoke/trace/jobs knobs (environment variables, so the pytest
+bench files and CI need no plumbing) and exposes the same three calls the
+old ``benchmarks/_sweeps`` module had — ``sweep_point``, ``cycle_sweep``,
+``payload_sweep`` — now backed by the explicit spec/executor/merge
+pipeline and the shared :class:`~repro.sweep.cache.PointCache` (Fig. 6
+and Fig. 7 report different columns of the same runs, so points simulate
+once and serve both).
+
+Environment knobs:
+
+``ZUGCHAIN_BENCH_SMOKE=1``
+    CI smoke mode: sharply reduced simulated duration so the whole figure
+    suite executes in minutes.  Absolute numbers are not meaningful at
+    this duration, so benchmarks skip their quantitative shape assertions
+    and only prove the sweeps still run end to end.
+``ZUGCHAIN_BENCH_TRACE=1``
+    Every sweep point runs with a RecordingTracer attached, so the figure
+    benchmarks double as an overhead regression check — tracing must not
+    change any reported number.
+``ZUGCHAIN_BENCH_JOBS=N``
+    Worker processes per sweep (default 1 = serial).  Points are
+    seed-isolated, so any N produces byte-identical merged results; N > 1
+    just finishes sooner on a multi-core box.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.scenarios import ScenarioResult
+from repro.sweep.cache import PointCache
+from repro.sweep.engine import SweepResult, run_sweep
+from repro.sweep.model import (
+    BUS_CYCLES_S,
+    DEFAULT_CYCLE_S,
+    DEFAULT_PAYLOAD,
+    PAYLOAD_BYTES,
+    SweepPoint,
+    SweepSpec,
+    cycle_sweep_spec,
+    payload_sweep_spec,
+)
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+SMOKE = _env_flag("ZUGCHAIN_BENCH_SMOKE")
+TRACE = _env_flag("ZUGCHAIN_BENCH_TRACE")
+JOBS = max(1, int(os.environ.get("ZUGCHAIN_BENCH_JOBS", "1") or "1"))
+
+#: Simulated duration per point.  The paper runs 5 minutes; 24 s preserves
+#: every qualitative result (steady state is reached within seconds) while
+#: keeping the full suite's wall time reasonable.
+DURATION_S = 6.0 if SMOKE else 24.0
+WARMUP_S = 1.5 if SMOKE else 3.0
+
+#: The overloaded baseline at the 32 ms minimum cycle gets a longer run so
+#: enough requests complete (through the growing backlog) to yield latency
+#: samples.  Smoke mode keeps every point short.
+OVERLOAD_DURATION_S = None if SMOKE else 40.0
+
+#: Shared across all figure sweeps in this process, in place of the old
+#: ``lru_cache``: digested results only, trace payloads never retained.
+POINT_CACHE = PointCache()
+
+
+def sweep_point(
+    system: str,
+    cycle_time_s: float,
+    payload_bytes: int,
+    duration_s: float = DURATION_S,
+    seed: int = 42,
+) -> ScenarioResult:
+    """Run (cached) one measurement point with the suite's settings."""
+    point = SweepPoint(
+        system=system, cycle_time_s=cycle_time_s, payload_bytes=payload_bytes,
+        duration_s=duration_s, warmup_s=WARMUP_S, seed=seed, trace=TRACE,
+    )
+    spec = SweepSpec(name=f"point:{system}", points=(point,))
+    return run_sweep(spec, jobs=1, cache=POINT_CACHE).results[0]
+
+
+def cycle_sweep(system: str, jobs: int | None = None) -> list[ScenarioResult]:
+    """Fig. 6/7 left: bus cycles 32-256 ms at 1 kB payloads."""
+    return cycle_sweep_result(system, jobs=jobs).results
+
+
+def cycle_sweep_result(system: str, jobs: int | None = None) -> SweepResult:
+    spec = cycle_sweep_spec(
+        system, duration_s=DURATION_S, warmup_s=WARMUP_S, trace=TRACE,
+        overload_duration_s=OVERLOAD_DURATION_S,
+    )
+    return run_sweep(spec, jobs=jobs if jobs is not None else JOBS,
+                     cache=POINT_CACHE)
+
+
+def payload_sweep(system: str, jobs: int | None = None) -> list[ScenarioResult]:
+    """Fig. 6/7 right: payloads 32 B - 8 kB at the 64 ms cycle."""
+    return payload_sweep_result(system, jobs=jobs).results
+
+
+def payload_sweep_result(system: str, jobs: int | None = None) -> SweepResult:
+    spec = payload_sweep_spec(
+        system, duration_s=DURATION_S, warmup_s=WARMUP_S, trace=TRACE,
+    )
+    return run_sweep(spec, jobs=jobs if jobs is not None else JOBS,
+                     cache=POINT_CACHE)

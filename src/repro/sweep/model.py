@@ -1,0 +1,185 @@
+"""Sweep specification model: explicit points, canonical order, stable hashes.
+
+A sweep is a *list of independent measurement points*, each fully
+described by a :class:`SweepPoint` — system under test, bus cycle,
+payload size, run length, and seed.  Every point is seed-isolated (the
+scenario builds its own :class:`~repro.util.rng.RngRegistry` from the
+point's seed), which is precisely what makes point-level sharding across
+worker processes safe: no state flows between points, so execution order
+and placement cannot change any result.
+
+Hashes are computed over a canonical JSON rendering (sorted keys,
+fixed float repr), so a spec hash is stable across processes, runs, and
+machines — it keys the per-point result cache and stamps merged sweep
+output so serial and parallel runs of the same spec are comparable
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.util.errors import ConfigError
+
+#: The paper's sweep axes (§V-B).
+BUS_CYCLES_S = (0.032, 0.064, 0.128, 0.256)
+PAYLOAD_BYTES = (32, 1024, 4096, 8192)
+DEFAULT_CYCLE_S = 0.064
+DEFAULT_PAYLOAD = 1024
+
+
+def _canonical_json(data: object) -> bytes:
+    """Deterministic JSON bytes: sorted keys, no whitespace drift."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measurement point: everything a worker needs to run it.
+
+    The point is a frozen value object — picklable, hashable, and
+    self-contained, so it can cross a process boundary and still build
+    the identical :class:`~repro.scenarios.ScenarioConfig`.
+    """
+
+    system: str = "zugchain"
+    cycle_time_s: float = DEFAULT_CYCLE_S
+    payload_bytes: int = DEFAULT_PAYLOAD
+    duration_s: float = 24.0
+    warmup_s: float = 3.0
+    seed: int = 42
+    trace: bool = False
+    bft_backend: str = "pbft"
+
+    def __post_init__(self) -> None:
+        if self.system not in ("zugchain", "baseline"):
+            raise ConfigError(f"unknown system {self.system!r}")
+        if self.duration_s <= 0:
+            raise ConfigError(f"point duration must be positive, got {self.duration_s}")
+
+    def key(self) -> tuple:
+        """Canonical ordering key: points sort by axes, never by index."""
+        return (
+            self.system, self.cycle_time_s, self.payload_bytes,
+            self.duration_s, self.warmup_s, self.seed, self.trace,
+            self.bft_backend,
+        )
+
+    def point_hash(self) -> str:
+        """Stable content hash of this point (cache key half)."""
+        return hashlib.sha256(_canonical_json(asdict(self))).hexdigest()
+
+    def cache_key(self) -> tuple[str, int]:
+        """(point hash, seed) — the per-point result-cache key."""
+        return (self.point_hash(), self.seed)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered collection of points plus a human-readable name.
+
+    Point order in the spec *is* the canonical output order: the merge
+    step reassembles worker results into this order no matter which
+    worker finished first.
+    """
+
+    name: str
+    points: tuple[SweepPoint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigError(f"sweep {self.name!r} has no points")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def spec_hash(self) -> str:
+        """Stable content hash over the full point list."""
+        return hashlib.sha256(
+            _canonical_json([asdict(point) for point in self.points])
+        ).hexdigest()
+
+    def with_trace(self, trace: bool) -> "SweepSpec":
+        return SweepSpec(
+            name=self.name,
+            points=tuple(replace(point, trace=trace) for point in self.points),
+        )
+
+
+def cycle_sweep_spec(
+    system: str,
+    *,
+    duration_s: float,
+    warmup_s: float,
+    seed: int = 42,
+    trace: bool = False,
+    cycles: Iterable[float] = BUS_CYCLES_S,
+    overload_duration_s: float | None = None,
+) -> SweepSpec:
+    """Fig. 6/7 left: bus cycles 32-256 ms at the default 1 kB payload.
+
+    ``overload_duration_s`` lengthens the overloaded baseline point at
+    the 32 ms minimum cycle so enough requests complete (through the
+    growing backlog) to yield latency samples.
+    """
+    points = []
+    for cycle in cycles:
+        duration = duration_s
+        if (overload_duration_s is not None
+                and system == "baseline" and cycle <= 0.032):
+            duration = overload_duration_s
+        points.append(SweepPoint(
+            system=system, cycle_time_s=cycle, payload_bytes=DEFAULT_PAYLOAD,
+            duration_s=duration, warmup_s=warmup_s, seed=seed, trace=trace,
+        ))
+    return SweepSpec(name=f"cycles:{system}", points=tuple(points))
+
+
+def payload_sweep_spec(
+    system: str,
+    *,
+    duration_s: float,
+    warmup_s: float,
+    seed: int = 42,
+    trace: bool = False,
+    payloads: Iterable[int] = PAYLOAD_BYTES,
+) -> SweepSpec:
+    """Fig. 6/7 right: payloads 32 B - 8 kB at the 64 ms cycle."""
+    points = tuple(
+        SweepPoint(
+            system=system, cycle_time_s=DEFAULT_CYCLE_S, payload_bytes=payload,
+            duration_s=duration_s, warmup_s=warmup_s, seed=seed, trace=trace,
+        )
+        for payload in payloads
+    )
+    return SweepSpec(name=f"payloads:{system}", points=points)
+
+
+def grid_sweep_spec(
+    name: str,
+    systems: Iterable[str],
+    cycles: Iterable[float],
+    payloads: Iterable[int],
+    *,
+    duration_s: float,
+    warmup_s: float,
+    seed: int = 42,
+    trace: bool = False,
+) -> SweepSpec:
+    """Cartesian product sweep for the CLI's multi-value axes."""
+    points = tuple(
+        SweepPoint(
+            system=system, cycle_time_s=cycle, payload_bytes=payload,
+            duration_s=duration_s, warmup_s=warmup_s, seed=seed, trace=trace,
+        )
+        for system in systems
+        for cycle in cycles
+        for payload in payloads
+    )
+    return SweepSpec(name=name, points=points)

@@ -1,21 +1,24 @@
-"""Cross-runtime Env conformance: one battery, three transports.
+"""Cross-runtime Env conformance: one battery, four transports.
 
 Every :class:`~repro.runtime.base.BaseEnv` adapter — the discrete-event
 :class:`~repro.runtime.env.SimEnv`, the :class:`~repro.bft.env.RecordingEnv`
-test double, and the TCP :class:`~repro.runtime.asyncio_runtime.AsyncioEnv`
+test double, the TCP :class:`~repro.runtime.asyncio_runtime.AsyncioEnv`,
+and the process-parallel :class:`~repro.runtime.multiprocess.MultiprocessEnv`
 — must exhibit identical semantics: broadcast in sorted order excluding
 self, canonical ``send_many`` ordering, fire-once timers, monotonic
 clocks, and the same counter accounting.  Each test below runs against
-all three via a small driver that abstracts "make an env with these
+all four via a small driver that abstracts "make an env with these
 peers", "what got delivered, in order", and "advance time".
 
-The asyncio driver needs no sockets: stub writers capture the framed
-bytes, which are decoded back through the wire registry — so the battery
+The asyncio driver needs no sockets, and the multiprocess driver needs
+no child processes: stub writers/channels capture the framed bytes,
+which are decoded back through the wire registry — so the battery
 exercises the real encode path while staying deterministic.
 """
 
 import asyncio
 import random
+import time
 
 import pytest
 
@@ -24,6 +27,7 @@ from repro.bft.messages import Prepare
 from repro.crypto import HmacScheme
 from repro.runtime.asyncio_runtime import AsyncioEnv
 from repro.runtime.env import SimEnv
+from repro.runtime.multiprocess import MultiprocessEnv
 from repro.sim import CostModel, CpuAccount, Kernel, LinkSpec, Network
 from repro.util.errors import ProtocolError
 from repro.wire.registry import decode_message
@@ -155,8 +159,51 @@ class AsyncioDriver:
         self.loop.close()
 
 
-@pytest.fixture(params=[SimDriver, RecordingDriver, AsyncioDriver],
-                ids=["sim", "recording", "asyncio"])
+class _StubChannel:
+    """Captures (src, frame) channel puts and decodes the wire bytes."""
+
+    def __init__(self, peer: str, log: list[tuple[str, object]]) -> None:
+        self._peer = peer
+        self._log = log
+        self.closed = False
+
+    def put(self, item: tuple[str, bytes]) -> None:
+        _, frame = item
+        decoded, _ = decode_message(frame)
+        self._log.append((self._peer, decoded))
+
+
+class MultiprocessDriver:
+    """MultiprocessEnv with stub channels (no child processes)."""
+
+    tick = 0.05
+
+    def __init__(self) -> None:
+        self.deliveries: list[tuple[str, object]] = []
+        self.channels = {
+            peer: _StubChannel(peer, self.deliveries)
+            for peer in PEERS if peer != NODE_ID
+        }
+        self.env = MultiprocessEnv(NODE_ID, self.channels)
+
+    def delivered(self) -> list[tuple[str, object]]:
+        return self.deliveries
+
+    def advance(self, dt: float) -> None:
+        # Real-time margin, as for asyncio: timers use self.tick and every
+        # advance sleeps several ticks past the deadline.
+        time.sleep(dt)
+
+    def make_unreachable(self, peer: str) -> None:
+        self.channels[peer].closed = True
+
+    def close(self) -> None:
+        self.env.close()
+
+
+@pytest.fixture(params=[SimDriver, RecordingDriver, AsyncioDriver,
+                        MultiprocessDriver],
+                ids=["sim", "recording", "asyncio", "multiprocess"])
 def driver(request):
     instance = request.param()
     yield instance

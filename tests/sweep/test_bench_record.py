@@ -1,0 +1,84 @@
+"""BenchRecorder: schema, statistics, and injected-clock determinism."""
+
+import json
+
+import pytest
+
+from repro.sweep import BenchRecorder, default_bench_path, summarize
+from repro.sweep.bench import SCHEMA
+
+
+class FakeClock:
+    """Scripted monotonic clock: each read advances by the next delta."""
+
+    def __init__(self, *readings: float) -> None:
+        self.readings = list(readings)
+
+    def __call__(self) -> float:
+        return self.readings.pop(0)
+
+
+def test_summarize_basic_stats():
+    stats = summarize([0.2, 0.1, 0.4, 0.3])
+    assert stats["count"] == 4
+    assert stats["mean_s"] == pytest.approx(0.25)
+    assert stats["median_s"] in (0.2, 0.3)
+    assert stats["p99_s"] == 0.4
+    assert (stats["min_s"], stats["max_s"]) == (0.1, 0.4)
+
+
+def test_summarize_empty_is_all_zero():
+    stats = summarize([])
+    assert stats == {"count": 0, "mean_s": 0.0, "median_s": 0.0,
+                     "p99_s": 0.0, "min_s": 0.0, "max_s": 0.0}
+
+
+def test_time_call_uses_the_injected_clock_only():
+    recorder = BenchRecorder(FakeClock(10.0, 12.5))
+    elapsed, value = recorder.time_call(lambda: "done")
+    assert elapsed == 2.5 and value == "done"
+
+
+def test_record_suite_computes_throughput_and_sim_speedup():
+    recorder = BenchRecorder(FakeClock())
+    entry = recorder.record_suite("cycles:zugchain", [2.0, 4.0], units=8,
+                                  sim_seconds=96.0, jobs=4,
+                                  extra={"note": "smoke"})
+    assert entry["mean_s"] == 3.0
+    assert entry["throughput_units_per_s"] == pytest.approx(8 / 3.0)
+    assert entry["sim_speedup"] == pytest.approx(32.0)
+    assert entry["jobs"] == 4 and entry["note"] == "smoke"
+
+
+def test_record_speedup_entry():
+    recorder = BenchRecorder(FakeClock())
+    entry = recorder.record_speedup("sweep:serial_vs_jobs4", before_s=8.0,
+                                    after_s=2.0, jobs=4,
+                                    extra={"byte_identical": True})
+    assert entry["speedup"] == 4.0
+    assert entry["byte_identical"] is True
+
+
+def test_artifact_schema_and_write(tmp_path):
+    recorder = BenchRecorder(FakeClock())
+    recorder.record_suite("b-suite", [1.0], units=4, sim_seconds=24.0, jobs=2)
+    recorder.record_suite("a-suite", [2.0], units=4, sim_seconds=24.0, jobs=1)
+    recorder.record_speedup("ab", before_s=2.0, after_s=1.0, jobs=2)
+    path = tmp_path / "BENCH_2026-01-02.json"
+    recorder.write(str(path), "2026-01-02")
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == SCHEMA
+    assert payload["date"] == "2026-01-02"
+    assert set(payload["host"]) == {"cpu_count", "python", "machine"}
+    assert list(payload["suites"]) == ["a-suite", "b-suite"]  # sorted
+    assert payload["speedups"]["ab"]["speedup"] == 2.0
+    for entry in payload["suites"].values():
+        for key in ("count", "mean_s", "median_s", "p99_s",
+                    "throughput_units_per_s", "sim_speedup", "jobs"):
+            assert key in entry
+
+
+def test_default_bench_path_convention(tmp_path):
+    assert default_bench_path("2026-08-08").endswith("BENCH_2026-08-08.json")
+    assert default_bench_path("2026-08-08", str(tmp_path)) == \
+        str(tmp_path / "BENCH_2026-08-08.json")

@@ -1,0 +1,172 @@
+"""PointCache semantics and the engine's merge contract.
+
+The cache half replaces ``lru_cache`` memoization: hits must skip
+execution, keys must cover every axis, and trace payloads must never be
+retained (the old memoization pinned every traced result for the whole
+benchmark session).  The merge half is exercised with a scripted
+executor that completes out of order, duplicates, or loses points.
+"""
+
+import pickle
+import sys
+
+import pytest
+
+from repro.scenarios import ScenarioResult
+from repro.sweep import (
+    PointCache,
+    PointEnvelope,
+    SerialExecutor,
+    SweepPoint,
+    SweepSpec,
+    run_sweep,
+)
+from repro.sweep.engine import _merge
+from repro.sweep.envelope import SweepRunStats
+from repro.util.errors import ConfigError, ProtocolError
+
+
+def make_result(**overrides) -> ScenarioResult:
+    values = dict(
+        system="zugchain", cycle_time_s=0.064, payload_bytes=64,
+        duration_s=3.0, mean_latency_s=0.012, p99_latency_s=0.013,
+        max_latency_s=0.014, requests_logged=10, requests_expected=10,
+        network_utilization=0.001, cpu_utilization=0.05,
+        memory_mean_bytes=1e6, memory_peak_bytes=2e6, view_changes=0,
+        metrics={"layer.requests": 10},
+    )
+    values.update(overrides)
+    return ScenarioResult(**values)
+
+
+def envelope_for(point: SweepPoint, index: int, **overrides) -> PointEnvelope:
+    return PointEnvelope(
+        index=index, point_hash=point.point_hash(), result=make_result(),
+        head_hash="ab" * 32, chain_height=3, **overrides)
+
+
+POINTS = tuple(
+    SweepPoint(cycle_time_s=c, payload_bytes=64, duration_s=3.0, warmup_s=0.5)
+    for c in (0.032, 0.064, 0.128)
+)
+SPEC = SweepSpec("unit", POINTS)
+
+
+class ScriptedExecutor:
+    """Yields pre-built envelopes in a scripted (possibly wrong) order."""
+
+    def __init__(self, envelopes):
+        self.envelopes = envelopes
+        self.ran = 0
+
+    def run(self, items, keep_trace=False):
+        wanted = {index for index, _ in items}
+        for envelope in self.envelopes:
+            if envelope.index in wanted or envelope.index not in range(len(SPEC)):
+                self.ran += 1
+                yield envelope
+
+
+# -- cache -----------------------------------------------------------------------
+
+
+def test_cache_hit_skips_execution_and_restamps_index():
+    cache = PointCache()
+    point = POINTS[0]
+    cache.put(point, envelope_for(point, index=0))
+    hit = cache.get(point, index=7)
+    assert hit is not None and hit.index == 7
+    assert (cache.hits, cache.misses) == (1, 0)
+    assert cache.get(POINTS[1]) is None
+    assert cache.misses == 1
+
+
+def test_cache_key_covers_every_axis():
+    cache = PointCache()
+    point = POINTS[0]
+    cache.put(point, envelope_for(point, index=0))
+    import dataclasses
+    for change in ({"seed": 43}, {"duration_s": 4.0}, {"trace": True},
+                   {"payload_bytes": 65}, {"system": "baseline"}):
+        other = dataclasses.replace(point, **change)
+        assert cache.get(other) is None, change
+
+
+def test_cache_drops_trace_payloads_on_insert():
+    cache = PointCache()
+    point = POINTS[0]
+    fat = envelope_for(point, index=0, trace_events=[("ev",)] * 1000)
+    before = sys.getsizeof(pickle.dumps(fat))
+    cache.put(point, fat)
+    hit = cache.get(point)
+    assert hit.trace_events is None
+    assert sys.getsizeof(pickle.dumps(hit)) < before
+
+
+def test_engine_serves_cached_points_without_rerunning():
+    cache = PointCache()
+    for index, point in enumerate(SPEC):
+        cache.put(point, envelope_for(point, index))
+    executor = ScriptedExecutor([])
+    sweep = run_sweep(SPEC, cache=cache, executor=executor)
+    assert executor.ran == 0
+    assert (sweep.stats.cached, sweep.stats.executed) == (len(SPEC), 0)
+    assert [e.index for e in sweep.envelopes] == [0, 1, 2]
+
+
+def test_clear_resets_entries_and_accounting():
+    cache = PointCache()
+    cache.put(POINTS[0], envelope_for(POINTS[0], 0))
+    cache.get(POINTS[0])
+    cache.clear()
+    assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+    assert cache.get(POINTS[0]) is None
+
+
+def test_consume_trace_hands_events_out_exactly_once():
+    fat = envelope_for(POINTS[0], 0, trace_events=[("ev", 1)])
+    assert fat.consume_trace() == [("ev", 1)]
+    assert fat.consume_trace() is None
+
+
+# -- merge ------------------------------------------------------------------------
+
+
+def test_merge_reorders_completion_order_into_spec_order():
+    scripted = [envelope_for(POINTS[i], i) for i in (2, 0, 1)]
+    sweep = run_sweep(SPEC, executor=ScriptedExecutor(scripted))
+    assert [e.index for e in sweep.envelopes] == [0, 1, 2]
+    assert sweep.stats.completion_order == [2, 0, 1]
+
+
+def test_merge_rejects_duplicate_indexes():
+    scripted = [envelope_for(POINTS[0], 0), envelope_for(POINTS[0], 0),
+                envelope_for(POINTS[1], 1), envelope_for(POINTS[2], 2)]
+    with pytest.raises(ProtocolError, match="duplicate"):
+        run_sweep(SPEC, executor=ScriptedExecutor(scripted))
+
+
+def test_merge_rejects_lost_points():
+    scripted = [envelope_for(POINTS[0], 0)]
+    with pytest.raises(ProtocolError, match="lost points"):
+        run_sweep(SPEC, executor=ScriptedExecutor(scripted))
+
+
+def test_merge_rejects_envelopes_from_a_different_point():
+    impostor = envelope_for(POINTS[2], 1)  # index 1, but point 2's hash
+    with pytest.raises(ProtocolError, match="does not match spec"):
+        _merge(SPEC, [envelope_for(POINTS[0], 0), impostor,
+                      envelope_for(POINTS[2], 2)], SweepRunStats())
+
+
+def test_serial_executor_yields_in_submission_order():
+    items = [(1, POINTS[1])]
+    envelopes = list(SerialExecutor().run(items))
+    assert [e.index for e in envelopes] == [1]
+    assert envelopes[0].point_hash == POINTS[1].point_hash()
+
+
+def test_process_executor_rejects_zero_workers():
+    from repro.sweep import ProcessExecutor
+    with pytest.raises(ConfigError):
+        ProcessExecutor(0)

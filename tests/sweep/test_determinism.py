@@ -1,0 +1,69 @@
+"""Satellite guard: serial and process-parallel sweeps are byte-identical.
+
+The whole parallelization argument rests on seed-isolated points plus a
+canonical-order merge.  This suite runs the same spec at ``jobs=1`` and
+``jobs=4`` and compares the rendered JSON byte for byte — results,
+head hashes, aggregated obs counters, and their key ordering included.
+"""
+
+import json
+
+import pytest
+
+from repro.sweep import SweepSpec, grid_sweep_spec, run_sweep
+
+
+@pytest.fixture(scope="module")
+def spec() -> SweepSpec:
+    return grid_sweep_spec(
+        "determinism", ("zugchain", "baseline"), (0.032, 0.064), (64,),
+        duration_s=3.0, warmup_s=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(spec):
+    return run_sweep(spec, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def parallel(spec):
+    return run_sweep(spec, jobs=4)
+
+
+def test_serial_and_parallel_json_bytes_are_identical(serial, parallel):
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_results_arrive_in_spec_order_not_completion_order(spec, serial, parallel):
+    for sweep in (serial, parallel):
+        assert [e.index for e in sweep.envelopes] == list(range(len(spec)))
+        for point, envelope in zip(spec, sweep.envelopes):
+            assert envelope.point_hash == point.point_hash()
+
+
+def test_head_hashes_match_pointwise(serial, parallel):
+    assert serial.head_hashes == parallel.head_hashes
+    assert all(serial.head_hashes)  # every point committed at least one block
+
+
+def test_merged_obs_counters_match_including_ordering(serial, parallel):
+    a = serial.merged_metrics().counter_values()
+    b = parallel.merged_metrics().counter_values()
+    assert a == b
+    assert list(a) == list(b) == sorted(a)
+    assert a  # the fold actually carried cluster counters
+
+
+def test_json_rendering_is_canonical(serial):
+    payload = serial.to_json()
+    decoded = json.loads(payload)
+    assert payload == json.dumps(decoded, sort_keys=True,
+                                 separators=(",", ":")).encode()
+    assert decoded["spec_hash"] == serial.spec.spec_hash()
+    assert len(decoded["points"]) == len(serial.spec)
+
+
+def test_parallel_run_actually_executed_every_point(spec, parallel):
+    assert parallel.stats.executed == len(spec)
+    assert sorted(parallel.stats.completion_order) == list(range(len(spec)))

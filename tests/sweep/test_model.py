@@ -1,0 +1,102 @@
+"""SweepPoint/SweepSpec: value semantics, stable hashes, canonical order."""
+
+import pytest
+
+from repro.sweep import (
+    BUS_CYCLES_S,
+    DEFAULT_CYCLE_S,
+    DEFAULT_PAYLOAD,
+    PAYLOAD_BYTES,
+    SweepPoint,
+    SweepSpec,
+    cycle_sweep_spec,
+    grid_sweep_spec,
+    payload_sweep_spec,
+)
+from repro.util.errors import ConfigError
+
+
+def test_point_hash_is_stable_across_instances():
+    a = SweepPoint(system="zugchain", cycle_time_s=0.064, payload_bytes=1024,
+                   duration_s=6.0, warmup_s=1.5, seed=7)
+    b = SweepPoint(system="zugchain", cycle_time_s=0.064, payload_bytes=1024,
+                   duration_s=6.0, warmup_s=1.5, seed=7)
+    assert a == b
+    assert a.point_hash() == b.point_hash()
+    assert a.cache_key() == (a.point_hash(), 7)
+
+
+@pytest.mark.parametrize("change", [
+    {"system": "baseline"},
+    {"cycle_time_s": 0.032},
+    {"payload_bytes": 32},
+    {"duration_s": 12.0},
+    {"warmup_s": 0.5},
+    {"seed": 43},
+    {"trace": True},
+    {"bft_backend": "other"},
+])
+def test_every_axis_changes_the_point_hash(change):
+    base = SweepPoint(duration_s=6.0, warmup_s=1.5)
+    changed = SweepPoint(**{**dict(
+        system="zugchain", cycle_time_s=DEFAULT_CYCLE_S,
+        payload_bytes=DEFAULT_PAYLOAD, duration_s=6.0, warmup_s=1.5,
+        seed=42, trace=False, bft_backend="pbft",
+    ), **change})
+    assert changed.point_hash() != base.point_hash()
+
+
+def test_unknown_system_and_bad_duration_rejected():
+    with pytest.raises(ConfigError):
+        SweepPoint(system="etcd")
+    with pytest.raises(ConfigError):
+        SweepPoint(duration_s=0.0)
+
+
+def test_empty_spec_rejected():
+    with pytest.raises(ConfigError):
+        SweepSpec(name="empty")
+
+
+def test_spec_hash_depends_on_point_order():
+    p1 = SweepPoint(cycle_time_s=0.032, duration_s=6.0)
+    p2 = SweepPoint(cycle_time_s=0.064, duration_s=6.0)
+    assert (SweepSpec("a", (p1, p2)).spec_hash()
+            != SweepSpec("a", (p2, p1)).spec_hash())
+
+
+def test_cycle_spec_covers_the_papers_axis_in_order():
+    spec = cycle_sweep_spec("zugchain", duration_s=6.0, warmup_s=1.5)
+    assert tuple(p.cycle_time_s for p in spec) == BUS_CYCLES_S
+    assert all(p.payload_bytes == DEFAULT_PAYLOAD for p in spec)
+
+
+def test_overload_duration_lengthens_only_the_baseline_minimum_cycle():
+    spec = cycle_sweep_spec("baseline", duration_s=6.0, warmup_s=1.5,
+                            overload_duration_s=40.0)
+    durations = [p.duration_s for p in spec]
+    assert durations == [40.0, 6.0, 6.0, 6.0]
+    zug = cycle_sweep_spec("zugchain", duration_s=6.0, warmup_s=1.5,
+                           overload_duration_s=40.0)
+    assert all(p.duration_s == 6.0 for p in zug)
+
+
+def test_payload_spec_covers_the_papers_axis():
+    spec = payload_sweep_spec("baseline", duration_s=6.0, warmup_s=1.5)
+    assert tuple(p.payload_bytes for p in spec) == PAYLOAD_BYTES
+    assert all(p.cycle_time_s == DEFAULT_CYCLE_S for p in spec)
+
+
+def test_grid_spec_is_the_cartesian_product_in_axis_order():
+    spec = grid_sweep_spec("g", ("zugchain",), (0.032, 0.064), (32, 1024),
+                           duration_s=6.0, warmup_s=1.5)
+    assert [(p.cycle_time_s, p.payload_bytes) for p in spec] == [
+        (0.032, 32), (0.032, 1024), (0.064, 32), (0.064, 1024),
+    ]
+
+
+def test_with_trace_flips_every_point():
+    spec = payload_sweep_spec("zugchain", duration_s=6.0, warmup_s=1.5)
+    traced = spec.with_trace(True)
+    assert all(p.trace for p in traced)
+    assert traced.spec_hash() != spec.spec_hash()

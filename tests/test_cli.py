@@ -1,6 +1,7 @@
 """CLI tests (driving main() directly)."""
 
 import io
+import json
 
 import pytest
 
@@ -25,6 +26,54 @@ def test_run_baseline():
     code, output = run_cli("run", "--system", "baseline", "--duration", "6", "--warmup", "1")
     assert code == 0
     assert "baseline" in output
+
+
+def test_run_sweep_mode_on_multivalue_axes():
+    code, output = run_cli("run", "--cycle-ms", "32", "64", "--payload", "64",
+                           "--duration", "3", "--warmup", "0.5", "--jobs", "2")
+    assert code == 0
+    assert "2 points" in output and "jobs=2" in output
+    assert "spec hash" in output
+    assert "32 ms" in output and "64 ms" in output
+
+
+def test_run_sweep_mode_rejects_trace_and_tcp():
+    with pytest.raises(SystemExit):
+        # --trace needs a PATH value; here we pass one explicitly.
+        main(["run", "--cycle-ms", "32", "64", "--runtime", "bogus"])
+    code, _ = run_cli("run", "--cycle-ms", "32", "64", "--duration", "3",
+                      "--warmup", "0.5", "--trace", "/tmp/t.jsonl")
+    assert code == 2
+    code, _ = run_cli("run", "--cycle-ms", "32", "64", "--duration", "3",
+                      "--warmup", "0.5", "--runtime", "tcp")
+    assert code == 2
+
+
+def test_run_record_bench_writes_artifact(tmp_path):
+    path = tmp_path / "BENCH_cli.json"
+    code, output = run_cli("run", "--duration", "3", "--warmup", "0.5",
+                           "--record-bench", str(path))
+    assert code == 0
+    assert f"wrote {path}" in output
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == "zugchain-bench/1"
+    entry = payload["suites"]["cli:run:zugchain"]
+    assert entry["count"] == 1 and entry["mean_s"] > 0
+    assert entry["sim_seconds"] == 3.0
+
+
+def test_bench_subcommand_writes_artifact_with_speedup(tmp_path):
+    path = tmp_path / "BENCH_bench.json"
+    code, output = run_cli("bench", "--suite", "cycles", "--duration", "2",
+                           "--warmup", "0.5", "--jobs", "2",
+                           "--compare-serial", "--out", str(path))
+    assert code == 0
+    assert "cycles:zugchain" in output and "artifact" in output
+    payload = json.loads(path.read_text())
+    assert set(payload["suites"]) == {"cycles:zugchain", "cycles:baseline"}
+    for name, entry in payload["speedups"].items():
+        assert entry["byte_identical"] is True, name
+        assert entry["jobs"] == 2
 
 
 def test_export():
