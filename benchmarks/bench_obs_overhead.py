@@ -6,12 +6,20 @@ call site is one attribute read and a skipped branch.  This benchmark pins
 that contract two ways:
 
 * micro: a guarded no-op emit vs a recording emit on a tight loop;
+* micro: the per-emission causal stamp (``CausalClock.stamp()`` runs on
+  every ``BaseEnv._emit``, traced or not) against its regression budget;
 * macro: a full Fig. 6-style scenario untraced vs traced — the untraced
   run must stay within a few percent of the traced one's simulation
   throughput, and both must report identical protocol numbers.
+
+The measurement loops live in :mod:`repro.obs.overhead` (shared with
+``repro bench --suite obs``); this file drives them under
+pytest-benchmark.
 """
 
 from repro.obs import NULL_TRACER, RecordingTracer
+from repro.obs.overhead import STAMP_BUDGET_NS, measure_obs_overhead
+from repro.runtime.wallclock import wall_timer
 from repro.scenarios import ScenarioConfig, SimulatedCluster
 
 from repro.sweep import SMOKE
@@ -42,6 +50,24 @@ def bench_recording_tracer_emit(benchmark):
 
     count = benchmark.pedantic(traced, rounds=5, iterations=1)
     assert count == _CALLS
+
+
+def bench_causal_stamp_on_disabled_hot_path(benchmark):
+    """The always-on stamp must stay within its per-emission budget.
+
+    ``CausalClock.stamp()`` runs once per ``_emit`` even with tracing
+    disabled (the clock ticks identically so enabling a tracer never
+    perturbs the protocol).  The budget is loose — it catches O(n) work
+    sneaking into the funnel, not nanosecond drift — and the exact
+    numbers land in the BENCH artifact via ``repro bench --suite obs``.
+    """
+    result = benchmark.pedantic(
+        lambda: measure_obs_overhead(wall_timer(), calls=_CALLS),
+        rounds=3, iterations=1,
+    )
+    assert result["causal_stamp_ns"] < STAMP_BUDGET_NS
+    # The per-site guard stays an order of magnitude under the stamp.
+    assert result["null_guard_ns"] < result["causal_stamp_ns"]
 
 
 def bench_traced_scenario_matches_untraced(benchmark):

@@ -51,6 +51,7 @@ class Env(Protocol):
 # the Env protocol on purpose: repro.runtime's cost model imports message
 # classes whose modules import Env from here, so by the time that import
 # cycle swings back around, Env must already be defined.
+from repro.obs.causal import CausalContext  # noqa: E402
 from repro.runtime.base import BaseEnv, EnvTimer  # noqa: E402
 
 
@@ -75,6 +76,10 @@ class RecordingEnv(BaseEnv):
         self.peers: tuple[str, ...] = tuple(peers)
         self.unreachable: set[str] = set()
         self.sent: list[tuple[str, Any]] = []
+        #: Causal context per recorded copy, parallel to :attr:`sent`
+        #: (``sent`` keeps its historical 2-tuple shape for the many tests
+        #: that unpack it).
+        self.sent_ctx: list[CausalContext] = []
         self.broadcasts: list[Any] = []
         self.timers: list[EnvTimer] = []
 
@@ -93,12 +98,15 @@ class RecordingEnv(BaseEnv):
     def _peer_ids(self) -> Iterable[str]:
         return self.peers
 
-    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
+    def _transport_emit(
+        self, dsts: tuple[str, ...], message: Any, ctx: CausalContext
+    ) -> None:
         for dst in dsts:
             if dst in self.unreachable:
                 self._note_drop()
             else:
                 self.sent.append((dst, message))
+                self.sent_ctx.append(ctx)
 
     def _transport_schedule(self, delay: float, timer: EnvTimer) -> None:
         self.timers.append(timer)
@@ -129,4 +137,5 @@ class RecordingEnv(BaseEnv):
 
     def clear(self) -> None:
         self.sent.clear()
+        self.sent_ctx.clear()
         self.broadcasts.clear()

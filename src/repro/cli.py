@@ -42,10 +42,12 @@ from repro.sweep import (
 def _add_run_parser(subparsers) -> None:
     parser = subparsers.add_parser("run", help="run a recorder scenario and report metrics")
     parser.add_argument("--system", choices=("zugchain", "baseline"), default="zugchain")
-    parser.add_argument("--runtime", choices=("sim", "tcp"), default="sim",
+    parser.add_argument("--runtime", choices=("sim", "tcp", "mp"), default="sim",
                         help="sim: deterministic simulator; tcp: real asyncio "
-                             "sockets on localhost (zugchain only, wall-clock "
-                             "paced, trace timestamps are debug-grade)")
+                             "sockets on localhost; mp: one OS process per "
+                             "node over multiprocessing queues (both zugchain "
+                             "only, wall-clock paced, trace timestamps are "
+                             "debug-grade)")
     parser.add_argument("--cycle-ms", type=float, nargs="+", default=[64.0],
                         metavar="MS", help="bus cycle time(s); more than one "
                                            "value turns the run into a sweep")
@@ -74,8 +76,10 @@ def _add_bench_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "bench", help="time the figure sweeps and write a BENCH_<date>.json artifact"
     )
-    parser.add_argument("--suite", choices=("cycles", "payloads", "all"),
-                        default="all", help="which figure sweeps to time")
+    parser.add_argument("--suite", choices=("cycles", "payloads", "obs", "all"),
+                        default="all", help="which figure sweeps to time "
+                                            "(obs: observability hot-path "
+                                            "micro-costs, no sweep)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes per sweep")
     parser.add_argument("--duration", type=float, default=None,
@@ -123,6 +127,7 @@ def _add_requirements_parser(subparsers) -> None:
 def _write_bench(recorder: BenchRecorder, path_arg: str, out) -> str:
     date = today_str()
     path = path_arg or default_bench_path(date)
+    recorder.preload(path)
     recorder.write(path, date)
     print(f"bench         : wrote {path}", file=out)
     return path
@@ -133,6 +138,8 @@ def _cmd_run(args, out) -> int:
         return _cmd_run_sweep(args, out)
     if args.runtime == "tcp":
         return _cmd_run_tcp(args, out)
+    if args.runtime == "mp":
+        return _cmd_run_mp(args, out)
     tracer = RecordingTracer() if args.trace else None
     cluster = SimulatedCluster(ScenarioConfig(
         system=args.system,
@@ -167,7 +174,7 @@ def _cmd_run(args, out) -> int:
 
 def _cmd_run_sweep(args, out) -> int:
     """Multi-value axes: run the cartesian product through repro.sweep."""
-    if args.runtime == "tcp":
+    if args.runtime != "sim":
         print("repro run: sweep mode supports --runtime sim only", file=sys.stderr)
         return 2
     if args.trace:
@@ -240,6 +247,18 @@ def _cmd_bench(args, out) -> int:
         ]
     recorder = BenchRecorder(wall_timer())
     rows = []
+    if args.suite in ("obs", "all"):
+        from repro.obs.overhead import measure_obs_overhead
+
+        timer = wall_timer()
+        elapsed, costs = recorder.time_call(lambda: measure_obs_overhead(timer))
+        recorder.record_suite("obs:overhead", [elapsed],
+                              units=int(costs["calls"]), jobs=1, extra=costs)
+        print("obs overhead  : "
+              f"guard {costs['null_guard_ns']:.0f} ns/site, "
+              f"causal stamp {costs['causal_stamp_ns']:.0f} ns/emission, "
+              f"recording emit {costs['recording_emit_ns']:.0f} ns/event",
+              file=out)
     for spec in specs:
         elapsed, sweep = recorder.time_call(
             lambda spec=spec: run_sweep(spec, jobs=args.jobs))
@@ -266,6 +285,7 @@ def _cmd_bench(args, out) -> int:
     ), file=out)
     date = today_str()
     path = args.out or default_bench_path(date)
+    recorder.preload(path)
     recorder.write(path, date)
     print(f"artifact      : {path}", file=out)
     return 0
@@ -289,7 +309,7 @@ def _cmd_run_tcp(args, out) -> int:
     )
     result = run_tcp_scenario(config, tracer=tracer)
     print(f"runtime       : tcp ({args.nodes} nodes, {cycles} bus cycles "
-          f"@ {args.cycle_ms:g} ms)", file=out)
+          f"@ {args.cycle_ms[0]:g} ms)", file=out)
     print(f"logged        : {result.requests_logged}/{result.requests_expected}"
           f"{'' if result.completed else '  (INCOMPLETE)'}", file=out)
     heights = sorted(set(result.chain_heights.values()))
@@ -300,6 +320,43 @@ def _cmd_run_tcp(args, out) -> int:
         print(f"trace         : {count} events -> {args.trace} "
               f"(relative per-node timestamps, debug-grade)", file=out)
     return 0 if result.completed and result.heads_consistent else 1
+
+
+def _cmd_run_mp(args, out) -> int:
+    from repro.runtime.multiprocess import (
+        MultiprocessScenarioConfig,
+        run_multiprocess_scenario,
+    )
+
+    if args.system != "zugchain":
+        print("repro run: --runtime mp supports --system zugchain only",
+              file=sys.stderr)
+        return 2
+    cycle_time_s = args.cycle_ms[0] / 1000.0
+    cycles = max(1, round(args.duration / cycle_time_s))
+    config = MultiprocessScenarioConfig(
+        n=args.nodes,
+        cycles=cycles,
+        cycle_time_s=cycle_time_s,
+        payload_bytes=args.payload[0],
+        trace=bool(args.trace),
+    )
+    result = run_multiprocess_scenario(config)
+    print(f"runtime       : mp ({args.nodes} node processes, {cycles} bus "
+          f"cycles @ {args.cycle_ms[0]:g} ms)", file=out)
+    print(f"logged        : {result.requests_logged}/{result.requests_expected}"
+          f"{'' if result.completed else '  (INCOMPLETE)'}", file=out)
+    heights = sorted(set(result.chain_heights.values()))
+    print(f"chain         : heights {heights}, heads "
+          f"{'consistent' if result.heads_consistent else 'DIVERGED'}", file=out)
+    for node_id, error in sorted(result.errors.items()):
+        print(f"worker error  : {node_id}: {error}", file=out)
+    if args.trace:
+        count = write_trace(result.trace_events, args.trace)
+        print(f"trace         : {count} events -> {args.trace} "
+              f"(merged worker shards, per-node relative timestamps)", file=out)
+    ok = result.completed and result.heads_consistent and not result.errors
+    return 0 if ok else 1
 
 
 def _cmd_export(args, out) -> int:

@@ -501,6 +501,99 @@ class ObservabilityEmissionRule(Rule):
                             )
 
 
+#: Modules allowed to mint contexts and mutate causal clocks: the emission
+#: funnel and the transports (``repro.runtime``) and the causal machinery
+#: itself (``repro.obs`` — stamp/merge/observe and the codecs).
+_CAUSAL_EXEMPT_PREFIXES = ("repro.runtime", "repro.obs")
+
+#: CausalClock state only the funnel/receive path may assign.
+_CAUSAL_CLOCK_ATTRS = {"origin", "lamport", "events", "last_event", "inbound", "carry"}
+
+#: Tracer-computed causal annotations protocol code must never pass.
+_CAUSAL_EMIT_KWARGS = {"idx", "lamport", "cause"}
+
+
+def _causal_receiver(node: ast.AST) -> str | None:
+    """The receiver's dotted name, if it names a causal clock."""
+    name = dotted_name(node) or terminal_name(node)
+    if name is None:
+        return None
+    lowered = name.lower()
+    if "causal" in lowered or "clock" in lowered:
+        return name
+    return None
+
+
+@register_rule
+class CausalFunnelRule(Rule):
+    code = "DET008"
+    name = "causal-funnel"
+    description = (
+        "CausalContext construction or CausalClock mutation outside the "
+        "emission funnel (repro.runtime) and the causal machinery "
+        "(repro.obs); contexts are minted by BaseEnv._emit only and clock "
+        "state is owned by stamp/merge/observe — protocol code forging "
+        "either breaks happens-before"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        if ctx.module.startswith(_CAUSAL_EXEMPT_PREFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    if target.attr not in _CAUSAL_CLOCK_ATTRS:
+                        continue
+                    receiver = _causal_receiver(target.value)
+                    if receiver is None:
+                        continue
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"assignment to {receiver}.{target.attr} outside the "
+                            "emission funnel; CausalClock state is owned by "
+                            "BaseEnv._emit / run_inbound and the bound tracer"
+                        ),
+                        path=ctx.path,
+                        line=target.lineno,
+                        col=target.col_offset,
+                    )
+            elif isinstance(node, ast.Call):
+                if terminal_name(node.func) == "CausalContext":
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            "CausalContext constructed outside the emission "
+                            "funnel; contexts are minted by CausalClock.stamp() "
+                            "inside BaseEnv._emit only"
+                        ),
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                elif _is_tracer_emit(node):
+                    for keyword in node.keywords:
+                        if keyword.arg in _CAUSAL_EMIT_KWARGS:
+                            yield Finding(
+                                code=self.code,
+                                message=(
+                                    f"tracer.emit(..., {keyword.arg}=...) forges a "
+                                    "causal annotation; idx/lamport/cause are "
+                                    "assigned by the bound CausalClock"
+                                ),
+                                path=ctx.path,
+                                line=keyword.value.lineno,
+                                col=keyword.value.col_offset,
+                            )
+
+
 @register_rule
 class FloatDeadlineEqualityRule(Rule):
     code = "DET005"

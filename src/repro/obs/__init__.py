@@ -14,6 +14,25 @@ Three parts (see DESIGN.md "Observability layer"):
   back by ``python -m repro.obs summary``.
 """
 
+from repro.obs.causal import (
+    LIFECYCLE,
+    CausalClock,
+    CausalContext,
+    CausalDag,
+    CausalEdge,
+    HopStats,
+    build_dag,
+    event_id,
+    lifecycle_chains,
+    lifecycle_shape,
+    merge_shards,
+)
+from repro.obs.check import (
+    DEFAULT_TAIL_SLACK_S,
+    OracleFinding,
+    OracleReport,
+    check_trace,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
     ClusterMetrics,
@@ -51,6 +70,21 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "LIFECYCLE",
+    "CausalClock",
+    "CausalContext",
+    "CausalDag",
+    "CausalEdge",
+    "HopStats",
+    "build_dag",
+    "event_id",
+    "lifecycle_chains",
+    "lifecycle_shape",
+    "merge_shards",
+    "DEFAULT_TAIL_SLACK_S",
+    "OracleFinding",
+    "OracleReport",
+    "check_trace",
     "EVENT_TAXONOMY",
     "NULL_TRACER",
     "NullTracer",

@@ -45,6 +45,13 @@ def encode_event(event: TraceEvent) -> str:
         "node": event.node,
         "name": event.name,
     }
+    # Causal keys are conditional so pre-causal traces (and untraced-clock
+    # events) keep their exact historical bytes.
+    if event.idx >= 0:
+        record["idx"] = event.idx
+        record["lam"] = event.lamport
+    if event.cause:
+        record["cause"] = event.cause
     if event.fields:  # already sorted by key; dumps preserves insertion order
         record["f"] = dict(event.fields)
     return json.dumps(record, separators=(",", ":"), ensure_ascii=True)
@@ -71,6 +78,9 @@ def decode_event(line: str) -> TraceEvent:
     return TraceEvent(
         seq=int(seq), t=float(t), node=str(node), name=str(name),
         fields=tuple(sorted(fields.items())),
+        idx=int(record.get("idx", -1)),
+        lamport=int(record.get("lam", 0)),
+        cause=str(record.get("cause", "")),
     )
 
 

@@ -41,9 +41,12 @@ name                        emitted when
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.util.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (causal imports us)
+    from repro.obs.causal import CausalClock
 
 #: Every event name the built-in instrumentation emits (summary tooling
 #: groups on these; emitting an unlisted name is allowed for experiments).
@@ -79,6 +82,15 @@ class TraceEvent:
     ``fields`` is a tuple of (key, value) pairs sorted by key — a stable
     order regardless of the keyword order at the emit site, so sinks write
     identical bytes for identical protocol states.
+
+    Causal annotations (``idx``, ``lamport``, ``cause``) are assigned by
+    the tracer when the emitting node's env has a bound
+    :class:`~repro.obs.causal.CausalClock`; their defaults mean "no causal
+    information" and keep pre-causal traces decodable byte-for-byte.
+    ``idx`` is the per-node event index (``node#idx`` is the event's
+    cluster-unique identity, stable across shard merges); ``cause`` is the
+    ``node#idx`` of the event that caused the message being handled when
+    this event was recorded, or ``""``.
     """
 
     seq: int
@@ -86,6 +98,9 @@ class TraceEvent:
     node: str
     name: str
     fields: tuple[tuple[str, object], ...] = ()
+    idx: int = -1
+    lamport: int = 0
+    cause: str = ""
 
     def get(self, key: str, default: object = None) -> object:
         for field_key, value in self.fields:
@@ -133,6 +148,15 @@ class RecordingTracer(Tracer):
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
         self._seq = 0
+        self._clocks: dict[str, "CausalClock"] = {}
+
+    def bind_clock(self, node: str, clock: "CausalClock") -> None:
+        """Attach a node env's causal clock so its events carry identity.
+
+        Binding is what turns causal annotation on for a node: unbound
+        nodes record plain events (idx −1, no cause) exactly as before.
+        """
+        self._clocks[node] = clock
 
     def emit(self, name: str, t: float, node: str, **fields: object) -> None:
         for key, value in fields.items():
@@ -141,12 +165,20 @@ class RecordingTracer(Tracer):
                     f"trace field {key}={value!r} is not a scalar; hex-encode "
                     "bytes and summarize containers before emitting"
                 )
+        clock = self._clocks.get(node)
+        if clock is None:
+            idx, lamport, cause = -1, 0, ""
+        else:
+            idx, lamport, cause = clock.observe()
         event = TraceEvent(
             seq=self._seq,
             t=t,
             node=node,
             name=name,
             fields=tuple(sorted(fields.items())),
+            idx=idx,
+            lamport=lamport,
+            cause=cause,
         )
         self._seq += 1
         self._events.append(event)

@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass
 from typing import Any, Callable, Iterable
 
 import repro.wire.tags  # noqa: F401  (registers all message types)
+from repro.obs.causal import CausalContext
 from repro.obs.metrics import ClusterMetrics, MetricsRegistry, fold_env_counters
 from repro.runtime.base import BaseEnv, EnvTimer
 from repro.util.errors import CodecError
@@ -31,6 +32,13 @@ from repro.wire.registry import decode_message, encode_message
 
 _HELLO_PREFIX = b"zc1 "
 _MAX_FRAME = 64 * 1024 * 1024
+#: High bit of the 4-byte length prefix: the frame starts with a causal
+#: frame-header extension (a registered CausalContext, self-delimiting via
+#: the codec) before the message body.  _MAX_FRAME keeps legitimate
+#: lengths well below the flag bit, and untraced runs never set it, so
+#: the wire format is byte-identical to the pre-causal one when tracing
+#: is off.
+_CAUSAL_FLAG = 0x8000_0000
 
 
 class AsyncioEnv(BaseEnv):
@@ -84,11 +92,17 @@ class AsyncioEnv(BaseEnv):
     def _peer_ids(self) -> Iterable[str]:
         return self._peers.keys()
 
-    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
+    def _transport_emit(
+        self, dsts: tuple[str, ...], message: Any, ctx: CausalContext
+    ) -> None:
         if not dsts:
             return
         frame = encode_message(message)
-        wire = len(frame).to_bytes(4, "big") + frame
+        if self.causal.carry:
+            frame = encode_message(ctx) + frame
+            wire = (len(frame) | _CAUSAL_FLAG).to_bytes(4, "big") + frame
+        else:
+            wire = len(frame).to_bytes(4, "big") + frame
         for dst in dsts:
             writer = self._writers.get(dst)
             if writer is None or writer.is_closing():
@@ -190,7 +204,8 @@ class AsyncioCluster:
             await entry.env.connect_all()
 
     def _connection_handler(self, node, env: AsyncioEnv):
-        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        async def handle_connection(reader: asyncio.StreamReader,
+                                    writer: asyncio.StreamWriter):
             task = asyncio.current_task()
             if task is not None:
                 self._handler_tasks.add(task)
@@ -203,6 +218,8 @@ class AsyncioCluster:
                 while True:
                     header = await reader.readexactly(4)
                     length = int.from_bytes(header, "big")
+                    carries_ctx = bool(length & _CAUSAL_FLAG)
+                    length &= ~_CAUSAL_FLAG
                     if length > _MAX_FRAME:
                         # The frame cannot be skipped without reading it, so
                         # the connection is unrecoverable: count and drop it.
@@ -210,13 +227,21 @@ class AsyncioCluster:
                         break
                     frame = await reader.readexactly(length)
                     try:
+                        ctx = None
+                        if carries_ctx:
+                            ctx, consumed = decode_message(frame)
+                            if not isinstance(ctx, CausalContext):
+                                raise CodecError("causal header is not a CausalContext")
+                            frame = frame[consumed:]
                         message, _ = decode_message(frame)
                     except CodecError:
                         # The bad frame is fully consumed; later frames on
                         # this stream are still well-delimited.
                         env.decode_errors += 1
                         continue
-                    node.handle_message(src, message)
+                    env.run_inbound(
+                        ctx, lambda s=src, m=message: node.handle_message(s, m)
+                    )
             except (asyncio.IncompleteReadError, ConnectionResetError):
                 pass
             except asyncio.CancelledError:
@@ -227,7 +252,7 @@ class AsyncioCluster:
                 if task is not None:
                     self._handler_tasks.discard(task)
                 writer.close()
-        return handle
+        return handle_connection
 
     def node(self, node_id: str):
         return self.hosted[node_id].node

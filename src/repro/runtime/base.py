@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
+from repro.obs.causal import CausalClock, CausalContext
 from repro.util.errors import ProtocolError
 
 _PENDING = "pending"
@@ -124,6 +125,11 @@ class BaseEnv:
     def __init__(self, node_id: str) -> None:
         self._node_id = node_id
         self.counters = EnvCounters()
+        #: The env's causal clock.  It always ticks — traced or not — so
+        #: enabling tracing never changes anything protocol code can see;
+        #: only the emission funnel and ``run_inbound`` may mutate it
+        #: (enforced by zuglint DET008 outside the runtime layer).
+        self.causal = CausalClock(node_id)
 
     @property
     def node_id(self) -> str:
@@ -160,10 +166,34 @@ class BaseEnv:
         )
 
     def _emit(self, dsts: Iterable[str], message: Any) -> None:
-        """The single funnel every outbound message passes through."""
+        """The single funnel every outbound message passes through.
+
+        Every emission is stamped with a :class:`CausalContext` here —
+        the only place contexts are minted — and the transport carries it
+        in its envelope (never the wire body for in-process runtimes; an
+        optional frame-header extension for TCP and multiprocess).
+        """
         canonical = tuple(sorted(dsts))
         self.counters.messages_emitted += len(canonical)
-        self._transport_emit(canonical, message)
+        self._transport_emit(canonical, message, self.causal.stamp())
+
+    def run_inbound(self, ctx: CausalContext | None, fn: Callable[[], None]) -> None:
+        """Run an inbound-message handler under its causal context.
+
+        Merges the sender's Lamport clock and scopes ``ctx`` as the
+        current inbound context so events recorded during ``fn`` — and
+        contexts stamped onto messages it emits — are causally linked to
+        the delivery.  Transports call this around ``handle_message``.
+        """
+        clock = self.causal
+        if ctx is not None:
+            clock.merge(ctx)
+        previous = clock.inbound
+        clock.inbound = ctx
+        try:
+            fn()
+        finally:
+            clock.inbound = previous
 
     # -- timers --------------------------------------------------------------
 
@@ -189,8 +219,15 @@ class BaseEnv:
         """Known node ids (self may be included; broadcast filters it)."""
         raise NotImplementedError
 
-    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
-        """Deliver ``message`` to each of the already-sorted ``dsts``."""
+    def _transport_emit(
+        self, dsts: tuple[str, ...], message: Any, ctx: CausalContext
+    ) -> None:
+        """Deliver ``message`` to each of the already-sorted ``dsts``.
+
+        ``ctx`` is the emission's causal context; transports propagate it
+        in their envelope (closure capture, frame header, queue slot) and
+        surface it to the receiver's ``run_inbound``.
+        """
         raise NotImplementedError
 
     def _transport_schedule(self, delay: float, timer: EnvTimer) -> Any:

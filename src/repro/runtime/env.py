@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from repro.obs.causal import CausalContext
 from repro.runtime.base import BaseEnv, EnvTimer
 from repro.runtime.costs import send_cost, wire_size
 from repro.sim.kernel import Kernel, Timer
@@ -55,13 +56,17 @@ class SimEnv(BaseEnv):
     def _peer_ids(self) -> Iterable[str]:
         return self._network.endpoints()
 
-    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
+    def _transport_emit(
+        self, dsts: tuple[str, ...], message: Any, ctx: CausalContext
+    ) -> None:
         size = wire_size(message)
         cost = send_cost(message, self._model, copies=max(1, len(dsts)))
 
         def _put_on_wire() -> None:
+            # ctx rides the delivery envelope via closure capture — the
+            # in-process transport never serializes it.
             for dst in dsts:
-                if not self._network.send(self._node_id, dst, message, size):
+                if not self._network.send(self._node_id, dst, message, size, ctx):
                     self._note_drop()
 
         self._cpu.submit(cost, _put_on_wire)

@@ -48,6 +48,9 @@ class NodeHost:
 
     def _deliver(self, src: str, message: Any, size: int) -> None:
         self.messages_received += 1
+        # The network exposes the delivery's causal context only for the
+        # duration of this callback; capture it for the deferred handler.
+        ctx = self._network.inbound_context
         # Lazy verification: votes that can no longer change replica state
         # are discarded after a table lookup, skipping signature checks.
         replica = getattr(self.node, "replica", None)
@@ -59,7 +62,11 @@ class NodeHost:
 
         def _process() -> None:
             self.inbox_bytes -= size
-            self.node.handle_message(src, message)
+            env = getattr(self.node, "env", None)
+            if env is not None and hasattr(env, "run_inbound"):
+                env.run_inbound(ctx, lambda: self.node.handle_message(src, message))
+            else:
+                self.node.handle_message(src, message)
 
         self._cpu.submit(cost, _process)
 

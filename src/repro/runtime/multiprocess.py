@@ -40,6 +40,8 @@ from queue import Empty
 from typing import Any, Callable, Iterable
 
 import repro.wire.tags  # noqa: F401  (registers all message types)
+from repro.obs.causal import CausalContext, merge_shards
+from repro.obs.trace import TraceEvent
 from repro.runtime.base import BaseEnv, EnvTimer
 from repro.util.errors import CodecError
 from repro.wire.registry import decode_message, encode_message
@@ -60,9 +62,9 @@ class QueueChannel:
         self.queue = queue
         self.closed = False
 
-    def put(self, item: tuple[str, bytes]) -> None:
-        src, frame = item
-        self.queue.put(("msg", src, frame))
+    def put(self, item: tuple[str, bytes, bytes]) -> None:
+        src, frame, ctx_bytes = item
+        self.queue.put(("msg", src, frame, ctx_bytes))
 
 
 class MultiprocessEnv(BaseEnv):
@@ -91,16 +93,23 @@ class MultiprocessEnv(BaseEnv):
     def _peer_ids(self) -> Iterable[str]:
         return self._channels.keys()
 
-    def _transport_emit(self, dsts: tuple[str, ...], message: Any) -> None:
+    def _transport_emit(
+        self, dsts: tuple[str, ...], message: Any, ctx: CausalContext
+    ) -> None:
         if not dsts:
             return
         frame = encode_message(message)
+        # The context crosses the process boundary as the queue tuple's
+        # third slot — registry-encoded like the TCP frame header, empty
+        # when this env does not carry causality (untraced runs pay zero
+        # extra bytes).
+        ctx_bytes = encode_message(ctx) if self.causal.carry else b""
         for dst in dsts:
             channel = self._channels.get(dst)
             if channel is None or channel.closed:
                 self._note_drop()
                 continue
-            channel.put((self._node_id, frame))
+            channel.put((self._node_id, frame, ctx_bytes))
 
     def _transport_schedule(self, delay: float, timer: EnvTimer) -> threading.Timer:
         if self._timer_dispatch is None:
@@ -127,7 +136,8 @@ class MultiprocessEnv(BaseEnv):
 # ---------------------------------------------------------------------------
 
 #: Worker inbox items are tagged tuples:
-#:   ("msg", src, frame)          peer message (registry-encoded)
+#:   ("msg", src, frame, ctx)     peer message (registry-encoded) + causal
+#:                                context bytes ("" when untraced)
 #:   ("inject", cycle, payload)   bus feeder: one consolidated MVB reading
 #:   ("report",)                  progress probe → ("report", id, logged)
 #:   ("stop",)                    finish → ("final", id, summary dict)
@@ -150,6 +160,9 @@ class MultiprocessScenarioConfig:
     soft_timeout_s: float = 0.5
     hard_timeout_s: float = 0.5
     settle_timeout_s: float = 30.0
+    #: Run every worker with a per-process RecordingTracer shard; shards
+    #: ride back in the final report and merge deterministically.
+    trace: bool = False
 
 
 @dataclass
@@ -164,6 +177,8 @@ class MultiprocessScenarioResult:
     completed: bool = True
     env_counters: dict[str, dict[str, int]] = field(default_factory=dict)
     errors: dict[str, str] = field(default_factory=dict)
+    #: Canonical merge of the per-worker trace shards (empty untraced).
+    trace_events: list[TraceEvent] = field(default_factory=list)
 
 
 def _payload(cycle: int, size: int) -> bytes:
@@ -206,6 +221,17 @@ def _worker_main(node_id: str, ids: list[str], inboxes: dict[str, Any],
             node_id, channels,
             timer_dispatch=lambda timer: mailbox.put(("timer", timer)),
         )
+        tracer = None
+        if config.trace:
+            from repro.obs.trace import RecordingTracer
+
+            # Each worker records its own shard; binding the env's clock
+            # gives events per-node identity (node#idx) so the parent's
+            # merge needs no renumbering of causal references.  carry=True
+            # makes emissions serialize their context into the queue tuple.
+            tracer = RecordingTracer()
+            tracer.bind_clock(node_id, env.causal)
+            env.causal.carry = True
         scheme = HmacScheme()
         keystore = KeyStore(scheme=scheme)
         keypairs = {}
@@ -226,19 +252,27 @@ def _worker_main(node_id: str, ids: list[str], inboxes: dict[str, Any],
             keypair=keypairs[node_id],
             keystore=keystore,
             nsdb=standard_jru_catalog(),
+            tracer=tracer,
         )
 
         while True:
             item = mailbox.get()
             tag = item[0]
             if tag == "msg":
-                _, src, frame = item
+                _, src, frame, ctx_bytes = item
                 try:
+                    ctx = None
+                    if ctx_bytes:
+                        decoded, _ = decode_message(ctx_bytes)
+                        if isinstance(decoded, CausalContext):
+                            ctx = decoded
                     message, _ = decode_message(frame)
                 except CodecError:
                     env.decode_errors += 1
                     continue
-                node.handle_message(src, message)
+                env.run_inbound(
+                    ctx, lambda s=src, m=message: node.handle_message(s, m)
+                )
             elif tag == "timer":
                 item[1].fire()
             elif tag == "inject":
@@ -257,6 +291,10 @@ def _worker_main(node_id: str, ids: list[str], inboxes: dict[str, Any],
                     "chain_height": chain.height,
                     "head_hash": chain.head.block_hash.hex() if chain.height > 0 else "",
                     "env_counters": env.counters.snapshot(),
+                    # The worker's trace shard rides home with the final
+                    # report: TraceEvents are frozen scalar dataclasses,
+                    # picklable across the queue by construction.
+                    "trace": tracer.events if tracer is not None else [],
                 }))
                 return
     except Exception as exc:  # pragma: no cover - surfaced to the parent
@@ -310,6 +348,11 @@ class MultiprocessCluster:
         heads = {i: finals.get(i, {}).get("head_hash", "") for i in self.ids}
         distinct_heads = {h for h in heads.values() if h}
         logged = [finals.get(i, {}).get("requests_logged", 0) for i in self.ids]
+        trace_events: list[TraceEvent] = []
+        if config.trace:
+            trace_events = merge_shards(
+                {i: finals.get(i, {}).get("trace", []) for i in self.ids}
+            )
         return MultiprocessScenarioResult(
             requests_expected=config.cycles,
             requests_logged=min(logged) if logged else 0,
@@ -321,6 +364,7 @@ class MultiprocessCluster:
                 i: finals.get(i, {}).get("env_counters", {}) for i in self.ids
             },
             errors=errors,
+            trace_events=trace_events,
         )
 
     # -- internals -------------------------------------------------------------

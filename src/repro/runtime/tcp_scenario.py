@@ -121,6 +121,12 @@ async def _scenario(config: TcpScenarioConfig,
                     tracer: Tracer | None) -> TcpScenarioResult:
     cluster = AsyncioCluster(_node_factory(config, tracer), n=config.n)
     await cluster.start()
+    if tracer is not None and tracer.enabled and hasattr(tracer, "bind_clock"):
+        # Bind every env's causal clock and turn on the frame-header carry
+        # so contexts ride the TCP length-prefix extension.
+        for node_id, env in cluster.envs().items():
+            tracer.bind_clock(node_id, env.causal)
+            env.causal.carry = True
     try:
         await _drive(cluster, config)
         completed = await _wait_until(

@@ -23,6 +23,7 @@ from repro.core.layer import ZugChainConfig
 from repro.core.node import ZugChainNode
 from repro.crypto.keys import KeyStore, default_scheme
 from repro.faults.behaviors import ByzantineSpec, make_zugchain_node
+from repro.obs.check import OracleReport, check_trace
 from repro.obs.metrics import ClusterMetrics, MetricsRegistry
 from repro.obs.spans import pair_request_spans
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -89,6 +90,10 @@ class ScenarioResult:
     # was traced, the per-phase latency decomposition from span pairing.
     metrics: dict[str, int] = field(default_factory=dict)
     phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    # Invariant-oracle findings (repro.obs.check) over the trace, as plain
+    # dicts so results stay picklable across sweep workers.  Empty for
+    # untraced runs and for traced runs where every invariant holds.
+    findings: list[dict] = field(default_factory=list)
 
     def summary_row(self) -> str:
         return (
@@ -159,6 +164,10 @@ class SimulatedCluster:
             self.cpus[node_id] = cpu
             env = SimEnv(node_id, self.kernel, self.network, cpu, self.model)
             self.envs[node_id] = env
+            if self.tracer.enabled and hasattr(self.tracer, "bind_clock"):
+                # Bind the env's causal clock so this node's events carry
+                # per-node identity and cause edges.
+                self.tracer.bind_clock(node_id, env.causal)
             spec = config.byzantine.get(node_id, ByzantineSpec())
             if config.system == "zugchain":
                 from repro.bft.linear import LinearBftReplica
@@ -337,6 +346,7 @@ class SimulatedCluster:
             self.nodes[i].replica.stats.view_changes_completed for i in self.ids
         )
         phases: dict[str, dict[str, float]] = {}
+        findings: list[dict] = []
         if self.tracer.enabled and hasattr(self.tracer, "iter_events"):
             report = pair_request_spans(
                 self.tracer.iter_events(), node=primary, since=since
@@ -345,6 +355,7 @@ class SimulatedCluster:
                 name: stats.snapshot() for name, stats in report.phase_stats.items()
             }
             phases["end_to_end"] = report.end_to_end.snapshot()
+            findings = self.check_invariants().to_dicts()
         return ScenarioResult(
             system=self.config.system,
             cycle_time_s=self.config.cycle_time_s,
@@ -362,4 +373,36 @@ class SimulatedCluster:
             view_changes=view_changes,
             metrics=self.aggregate_metrics().counter_values(),
             phases=phases,
+            findings=findings,
+        )
+
+    def faulty_node_ids(self) -> tuple[str, ...]:
+        """Nodes the oracle's agreement invariants must not quantify over:
+        configured Byzantine specs, scheduled crashes, and nodes crashed
+        through the network by the time of collection."""
+        faulty = set()
+        for node_id in self.ids:
+            spec = self.config.byzantine.get(node_id, ByzantineSpec())
+            if spec.is_byzantine or spec.crash_at_s is not None:
+                faulty.add(node_id)
+            if self.network.is_crashed(node_id):
+                faulty.add(node_id)
+        return tuple(sorted(faulty))
+
+    def check_invariants(self, vc_bound_s: float | None = None) -> "OracleReport":
+        """Run the invariant oracle over this run's trace (library API).
+
+        Requires a recording tracer; scenario and fault tests call this
+        directly, and traced ``run()``s surface the findings on
+        :attr:`ScenarioResult.findings`.
+        """
+        if not (self.tracer.enabled and hasattr(self.tracer, "iter_events")):
+            raise ConfigError(
+                "check_invariants() needs a RecordingTracer; pass one to "
+                "SimulatedCluster(tracer=...)"
+            )
+        return check_trace(
+            self.tracer.iter_events(),
+            faulty=self.faulty_node_ids(),
+            vc_bound_s=vc_bound_s,
         )

@@ -85,6 +85,10 @@ class Network:
         self.stats = NetworkStats()
         self._window_start = 0.0
         self._window_bytes: dict[str, int] = {}
+        #: Causal context of the delivery currently being dispatched, if
+        #: any — set only for the duration of the endpoint callback so
+        #: receivers (``NodeHost``) can pick it up synchronously.
+        self.inbound_context: Any = None
 
     # -- topology -----------------------------------------------------------
 
@@ -129,13 +133,17 @@ class Network:
 
     # -- transmission -------------------------------------------------------
 
-    def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> bool:
+    def send(
+        self, src: str, dst: str, payload: Any, size_bytes: int, ctx: Any = None
+    ) -> bool:
         """Transmit ``payload`` of ``size_bytes`` from ``src`` to ``dst``.
 
         Returns ``True`` if the message was put on the wire.  The payload
         object itself is delivered by reference (the wire layer has already
         made sizes explicit; re-encoding on every simulated hop would only
-        burn host CPU).
+        burn host CPU).  ``ctx`` is an opaque causal context carried in
+        the delivery envelope and exposed via :attr:`inbound_context`
+        while the destination endpoint callback runs.
         """
         if dst not in self._endpoints:
             raise ConfigError(f"unknown destination {dst!r}")
@@ -166,7 +174,11 @@ class Network:
                 self.stats.messages_dropped += 1
                 return
             self.stats.record_receive(dst, size_bytes)
-            self._endpoints[dst](src, payload, size_bytes)
+            self.inbound_context = ctx
+            try:
+                self._endpoints[dst](src, payload, size_bytes)
+            finally:
+                self.inbound_context = None
 
         self._kernel.schedule_at(arrival, _deliver)
         return True

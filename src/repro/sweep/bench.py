@@ -117,6 +117,26 @@ class BenchRecorder:
 
     # -- output -----------------------------------------------------------------
 
+    def preload(self, path: str) -> None:
+        """Adopt suites/speedups from an existing artifact at ``path``.
+
+        Entries recorded in this session win over preloaded ones, so a
+        partial run (``repro bench --suite obs``) extends the day's
+        artifact instead of dropping the suites it didn't re-measure.
+        Missing, unreadable, or foreign-schema files are ignored.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(previous, dict) or previous.get("schema") != SCHEMA:
+            return
+        for name, entry in previous.get("suites", {}).items():
+            self.suites.setdefault(name, entry)
+        for name, entry in previous.get("speedups", {}).items():
+            self.speedups.setdefault(name, entry)
+
     def to_dict(self, date: str) -> dict:
         return {
             "schema": SCHEMA,

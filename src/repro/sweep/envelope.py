@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
+from repro.obs.trace import TraceEvent
 from repro.scenarios import ScenarioResult
 
 
@@ -35,9 +36,11 @@ class PointEnvelope:
     result: ScenarioResult
     head_hash: str = ""                # chain head block hash (hex), "" if empty chain
     chain_height: int = 0
-    trace_events: list[tuple] | None = None
+    # Per-point trace shard: frozen scalar dataclasses, picklable by
+    # construction (now carrying causal idx/lamport/cause annotations).
+    trace_events: list[TraceEvent] | None = None
 
-    def consume_trace(self) -> list[tuple] | None:
+    def consume_trace(self) -> list[TraceEvent] | None:
         """Return the recorded trace events once, dropping the reference."""
         events, self.trace_events = self.trace_events, None
         return events

@@ -30,6 +30,7 @@ from repro.export.messages import (
     ReadReply,
     ReadRequest,
 )
+from repro.obs.causal import CausalContext
 from repro.wire.messages import Request, SignedRequest
 from repro.wire.registry import register_message_type
 
@@ -61,6 +62,7 @@ WIRE_TAGS = {
     54: DeleteAck,
     55: BlockFetch,
     56: BlockFetchReply,
+    60: CausalContext,
 }
 
 for _tag, _cls in WIRE_TAGS.items():

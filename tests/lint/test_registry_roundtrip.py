@@ -35,6 +35,7 @@ from repro.export.messages import (
     ReadReply,
     ReadRequest,
 )
+from repro.obs.causal import CausalContext
 from repro.wire import Request, SignedRequest, decode_message, encode_message
 from repro.wire.registry import registered_types
 
@@ -121,6 +122,7 @@ SAMPLES = {
                                  block_hash=b"\x77" * 32).signed(PAIR),
     BlockFetch: lambda: BlockFetch(dc_id="dc-0", first_height=1, last_height=2).signed(DC_PAIR),
     BlockFetchReply: lambda: BlockFetchReply(replica_id="node-0", blocks=(_block(),)).signed(PAIR),
+    CausalContext: lambda: CausalContext(origin="node-0", lamport=3, parent=-1),
 }
 
 

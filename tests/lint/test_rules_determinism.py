@@ -354,3 +354,78 @@ def test_det007_ignores_non_tracer_emit_and_plain_fstrings():
         path="src/repro/core/node.py",
         select=["DET007"],
     )
+
+
+# --- DET008: causal emission funnel --------------------------------------
+
+def test_det008_flags_clock_mutation_and_context_minting():
+    findings = run(
+        """
+        from repro.obs.causal import CausalContext
+
+        class Layer:
+            def forge(self, env, origin):
+                env.causal.lamport += 10
+                env.causal.inbound = None
+                self.clock.carry = True
+                return CausalContext(origin=origin, lamport=99, parent=-1)
+        """,
+        path="src/repro/core/layer.py",
+        select=["DET008"],
+    )
+    assert codes(findings) == ["DET008"] * 4
+
+
+def test_det008_flags_forged_causal_annotations_on_emit():
+    findings = run(
+        """
+        class Node:
+            def rx(self, env, digest):
+                self.tracer.emit("bus.rx", env.now(), self.id,
+                                 digest=digest.hex(), lamport=7, cause="node-0#1")
+        """,
+        path="src/repro/core/node.py",
+        select=["DET008"],
+    )
+    assert codes(findings) == ["DET008"] * 2
+
+
+def test_det008_clean_inside_funnel_and_for_unrelated_state():
+    # The emission funnel and the causal machinery own the clock.
+    assert not run(
+        """
+        from repro.obs.causal import CausalClock, CausalContext
+
+        class BaseEnv:
+            def __init__(self, node_id):
+                self.causal = CausalClock(node_id)
+
+            def _emit(self, dsts, message):
+                self._transport_emit(dsts, message, self.causal.stamp())
+
+            def run_inbound(self, ctx, fn):
+                previous = self.causal.inbound
+                self.causal.inbound = ctx
+                try:
+                    fn()
+                finally:
+                    self.causal.inbound = previous
+        """,
+        path="src/repro/runtime/base.py",
+        select=["DET008"],
+    )
+    # Same-named attributes on non-clock receivers are out of scope, as is
+    # reading (never assigning) clock state.
+    assert not run(
+        """
+        class Layer:
+            def __init__(self):
+                self.events = []
+                self.inbound = None
+
+            def snapshot(self, env):
+                return env.causal.lamport
+        """,
+        path="src/repro/core/layer.py",
+        select=["DET008"],
+    )

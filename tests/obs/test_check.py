@@ -1,0 +1,281 @@
+"""The invariant oracle: synthetic violations, real Byzantine runs, CLI.
+
+Each synthetic test hand-builds the minimal trace violating exactly one
+invariant and asserts the finding names the offending node and sequence
+(the oracle's contract: point at the culprit, not at a boolean).  The
+integration tests run the actual FabricatingNode attack from
+``repro.faults`` against a fault-free twin, and drive the ``python -m
+repro.obs check`` gate end to end.
+"""
+
+import io
+
+import pytest
+
+from repro.faults.behaviors import ByzantineSpec
+from repro.obs import RecordingTracer, check_trace, write_trace
+from repro.obs.check import DEFAULT_TAIL_SLACK_S, OracleFinding, OracleReport
+from repro.obs.cli import main
+from repro.obs.trace import TraceEvent
+from repro.scenarios import ScenarioConfig, SimulatedCluster
+from repro.util.errors import ConfigError
+
+SEED = 7
+NODES = ("node-0", "node-1", "node-2", "node-3")
+
+
+def _event(trace_seq, node, name, *, t=0.0, idx=-1, lamport=0, cause="",
+           **fields):
+    # ``fields`` may itself carry a "seq" key (the BFT sequence number),
+    # distinct from the trace's own cluster-wide sequence ``trace_seq``.
+    return TraceEvent(seq=trace_seq, t=t, node=node, name=name,
+                      fields=tuple(sorted(fields.items())),
+                      idx=idx, lamport=lamport, cause=cause)
+
+
+def _lifecycle(seq0, t0, digest, bft_seq, nodes=NODES):
+    """A complete, healthy lifecycle for one payload on every node."""
+    events = []
+    seq = seq0
+    for offset, name in enumerate(("bus.rx", "bft.preprepare",
+                                   "bft.commit", "req.logged")):
+        for node in nodes:
+            fields = {"digest": digest}
+            if name != "bus.rx":
+                fields["seq"] = bft_seq
+            events.append(_event(seq, node, name, t=t0 + 0.01 * offset, **fields))
+            seq += 1
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Synthetic single-invariant violations
+# ---------------------------------------------------------------------------
+
+
+def test_clean_trace_passes():
+    events = _lifecycle(0, 1.0, "aa" * 32, 1)
+    report = check_trace(events)
+    assert report.ok
+    assert report.checked_events == len(events)
+    assert report.checked_nodes == 4
+    assert report.to_dicts() == []
+
+
+def test_commit_divergence_names_the_minority_node_and_seq():
+    events = _lifecycle(0, 1.0, "aa" * 32, 1)
+    # node-3 logs a different digest at the same BFT sequence number (it
+    # did receive the payload from its bus, so only agreement is violated).
+    events.append(_event(len(events), "node-3", "bus.rx", t=1.04,
+                         digest="bb" * 32))
+    events.append(_event(len(events), "node-3", "req.logged", t=1.05,
+                         digest="bb" * 32, seq=1))
+    report = check_trace(events)
+    codes = report.by_code()
+    assert codes.get("OBS001") == 1
+    finding = next(f for f in report.findings if f.code == "OBS001")
+    assert finding.node == "node-3"
+    assert finding.seq == 1
+    assert "bb" * 8 in finding.message
+    # The same divergence on a *known-faulty* node is out of scope.
+    assert check_trace(events, faulty=["node-3"]).ok
+
+
+def test_omission_requires_the_victim_to_outlive_the_logging_point():
+    digest = "cc" * 32
+    events = []
+    seq = 0
+    for node in ("node-0", "node-1", "node-2"):
+        events.append(_event(seq, node, "bus.rx", t=1.0, digest=digest))
+        seq += 1
+        events.append(_event(seq, node, "req.logged", t=1.1, digest=digest, seq=2))
+        seq += 1
+    events.append(_event(seq, "node-3", "bus.rx", t=1.0, digest=digest))
+    report = check_trace(events)
+    # node-3's last event predates the logging point: a run-end tail.
+    assert report.ok
+    # Keep node-3 demonstrably alive well past t_log + slack: now an omission.
+    alive = events + [
+        _event(seq + 1, "node-3", "bus.rx", t=1.1 + DEFAULT_TAIL_SLACK_S + 1.0,
+               digest="dd" * 32),
+    ]
+    report = check_trace(alive)
+    assert report.by_code() == {"OBS002": 1}
+    finding = report.findings[0]
+    assert finding.node == "node-3"
+    assert finding.seq == 2
+    assert finding.digest == digest
+
+
+def test_provenance_flags_digests_never_received_from_a_bus():
+    events = _lifecycle(0, 1.0, "aa" * 32, 1)
+    # A digest logged with no bus.rx anywhere: fabricated in consensus.
+    events.append(_event(len(events), "node-2", "req.logged", t=1.2,
+                         digest="ee" * 32, seq=3))
+    report = check_trace(events)
+    # Only provenance fires: the other nodes' traces end within the
+    # omission check's tail slack, so their silence is not an omission.
+    assert report.by_code() == {"OBS003": 1}
+    finding = next(f for f in report.findings if f.code == "OBS003")
+    assert finding.node == "node-2"
+    assert finding.seq == 3
+    assert "fabricated" in finding.message
+
+
+def test_provenance_is_gated_on_reception_instrumentation():
+    # A consensus-only trace (no bus.rx at all) must not false-positive.
+    events = [
+        _event(0, node, "req.logged", t=1.0, digest="aa" * 32, seq=1)
+        for node in NODES
+    ]
+    assert check_trace(events).ok
+
+
+def test_open_and_overlong_view_changes_are_findings():
+    base = _lifecycle(0, 1.0, "aa" * 32, 1)
+    seq = len(base)
+    open_stall = base + [
+        _event(seq, "node-1", "bft.viewchange.start", t=2.0, view=1),
+    ]
+    report = check_trace(open_stall)
+    assert report.by_code() == {"OBS004": 1}
+    assert report.findings[0].node == "node-1"
+    closed = open_stall + [
+        _event(seq + 1, "node-1", "bft.viewchange.end", t=5.0, view=1),
+    ]
+    assert check_trace(closed).ok
+    report = check_trace(closed, vc_bound_s=1.0)
+    assert report.by_code() == {"OBS004": 1}
+    assert "over the 1.000000s bound" in report.findings[0].message
+
+
+def test_dag_anomalies_surface_as_findings():
+    events = [
+        _event(0, "node-0", "bus.rx", t=1.0, idx=0, lamport=5, digest="aa" * 32),
+        # Orphan cause: references an event that is not in the trace.
+        _event(1, "node-1", "bft.commit", t=1.1, idx=0, lamport=9,
+               cause="node-0#7"),
+        # Lamport regression: same-node successor fails to advance the clock.
+        _event(2, "node-0", "bft.preprepare", t=1.2, idx=1, lamport=5),
+    ]
+    report = check_trace(events)
+    codes = report.by_code()
+    assert codes.get("OBS006") == 1
+    assert codes.get("OBS008") == 1
+    orphan = next(f for f in report.findings if f.code == "OBS006")
+    assert orphan.node == "node-1"
+    assert "node-0#7" in orphan.message
+
+
+def test_finding_and_report_shapes():
+    finding = OracleFinding(code="OBS001", message="m", node="node-1", seq=4)
+    assert finding.to_dict()["seq"] == 4
+    report = OracleReport(findings=[finding])
+    assert not report.ok
+    assert report.by_code() == {"OBS001": 1}
+
+
+# ---------------------------------------------------------------------------
+# The real attack from repro.faults, judged mechanically
+# ---------------------------------------------------------------------------
+
+
+def _traced_run(byzantine=None):
+    tracer = RecordingTracer()
+    cluster = SimulatedCluster(
+        ScenarioConfig(system="zugchain", seed=SEED, byzantine=byzantine or {}),
+        tracer=tracer,
+    )
+    result = cluster.run(duration_s=4.0)
+    return cluster, result, tracer
+
+
+def test_fabrication_attack_is_flagged_and_the_fault_free_twin_passes():
+    spec = ByzantineSpec(fabricate_per_cycle=0.5)
+    cluster, result, _ = _traced_run(byzantine={"node-1": spec})
+    assert cluster.nodes["node-1"].fabricated > 0
+    report = cluster.check_invariants()
+    assert not report.ok
+    assert set(report.by_code()) == {"OBS003"}
+    assert all("fabricated" in f.message for f in report.findings)
+    # The findings ride the ScenarioResult for sweep/CLI consumers.
+    assert result.findings == report.to_dicts()
+    # The identical-seed fault-free twin is clean.
+    twin_cluster, twin_result, _ = _traced_run()
+    assert twin_cluster.check_invariants().ok
+    assert twin_result.findings == []
+
+
+def test_check_invariants_requires_a_recording_tracer():
+    cluster = SimulatedCluster(ScenarioConfig(system="zugchain", seed=SEED))
+    with pytest.raises(ConfigError):
+        cluster.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+# The CLI gate
+# ---------------------------------------------------------------------------
+
+
+def _write(tmp_path, events, name="trace.jsonl"):
+    path = tmp_path / name
+    write_trace(events, str(path))
+    return str(path)
+
+
+def test_cli_check_passes_clean_trace(tmp_path):
+    path = _write(tmp_path, _lifecycle(0, 1.0, "aa" * 32, 1))
+    out = io.StringIO()
+    assert main(["check", path], out=out) == 0
+    text = out.getvalue()
+    assert "ok: all invariants hold" in text
+    assert "16 events across 4 nodes" in text
+
+
+def test_cli_check_fails_naming_node_and_seq(tmp_path):
+    events = _lifecycle(0, 1.0, "aa" * 32, 1)
+    events.append(_event(len(events), "node-3", "bus.rx", t=1.04,
+                         digest="bb" * 32))
+    events.append(_event(len(events), "node-3", "req.logged", t=1.05,
+                         digest="bb" * 32, seq=1))
+    path = _write(tmp_path, events)
+    out = io.StringIO()
+    assert main(["check", path], out=out) == 1
+    text = out.getvalue()
+    assert "OBS001" in text
+    assert "node-3" in text
+    assert "seq 1" in text
+    assert "FAIL: 1 finding(s) [OBS001=1]" in text
+    # Excusing the offender via --faulty flips the verdict.
+    out = io.StringIO()
+    assert main(["check", path, "--faulty", "node-3"], out=out) == 0
+    assert "(faulty: node-3)" in out.getvalue()
+
+
+def test_cli_check_gates_the_real_fabrication_attack(tmp_path):
+    spec = ByzantineSpec(fabricate_per_cycle=0.5)
+    _, _, tracer = _traced_run(byzantine={"node-1": spec})
+    path = _write(tmp_path, tracer.events)
+    out = io.StringIO()
+    # Even excusing the known-faulty node, fabricated payloads logged by
+    # correct nodes violate provenance: the attack cannot be configured away.
+    assert main(["check", path, "--faulty", "node-1"], out=out) == 1
+    assert "OBS003" in out.getvalue()
+
+
+def test_cli_dag_prints_fingerprint_and_json(tmp_path):
+    import json
+
+    _, _, tracer = _traced_run()
+    path = _write(tmp_path, tracer.events)
+    out = io.StringIO()
+    assert main(["dag", path], out=out) == 0
+    text = out.getvalue()
+    assert "message" in text
+    assert "fingerprint: " in text
+    assert "complete chains across 4 nodes" in text
+    out = io.StringIO()
+    assert main(["dag", path, "--json", "--no-time"], out=out) == 0
+    payload = json.loads(out.getvalue())
+    assert set(payload) == {"vertices", "edges", "anomalies"}
+    assert payload["anomalies"]["orphans"] == []

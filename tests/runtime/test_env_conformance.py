@@ -25,7 +25,8 @@ import pytest
 from repro.bft.env import RecordingEnv
 from repro.bft.messages import Prepare
 from repro.crypto import HmacScheme
-from repro.runtime.asyncio_runtime import AsyncioEnv
+from repro.obs.causal import CausalContext
+from repro.runtime.asyncio_runtime import _CAUSAL_FLAG, AsyncioEnv
 from repro.runtime.env import SimEnv
 from repro.runtime.multiprocess import MultiprocessEnv
 from repro.sim import CostModel, CpuAccount, Kernel, LinkSpec, Network
@@ -55,6 +56,7 @@ class SimDriver:
         self.network = Network(self.kernel, random.Random(1),
                                LinkSpec(latency_s=1e-4, jitter_s=0.0, bandwidth_bps=100e6))
         self.deliveries: list[tuple[str, object]] = []
+        self.ctxs: list[object] = []
         for peer in sorted(PEERS):
             self.network.register(peer, self._sink(peer))
         cpu = CpuAccount(self.kernel, CostModel(), name=NODE_ID)
@@ -63,10 +65,14 @@ class SimDriver:
     def _sink(self, peer: str):
         def receive(src: str, payload: object, size: int) -> None:
             self.deliveries.append((peer, payload))
+            self.ctxs.append(self.network.inbound_context)
         return receive
 
     def delivered(self) -> list[tuple[str, object]]:
         return self.deliveries
+
+    def contexts(self) -> list[object]:
+        return self.ctxs
 
     def advance(self, dt: float) -> None:
         self.kernel.run_until(self.kernel.now + dt)
@@ -89,6 +95,9 @@ class RecordingDriver:
     def delivered(self) -> list[tuple[str, object]]:
         return self.env.sent
 
+    def contexts(self) -> list[object]:
+        return list(self.env.sent_ctx)
+
     def advance(self, dt: float) -> None:
         target = self.env.now() + dt
         while True:
@@ -110,16 +119,30 @@ class RecordingDriver:
 
 
 class _StubWriter:
-    """Captures framed wire bytes and decodes them back into messages."""
+    """Captures framed wire bytes and decodes them back into messages.
 
-    def __init__(self, peer: str, log: list[tuple[str, object]]) -> None:
+    Parses the real frame format including the causal-header extension:
+    a set high bit on the length prefix means the frame opens with a
+    registry-encoded CausalContext before the message body.
+    """
+
+    def __init__(self, peer: str, log: list[tuple[str, object]],
+                 ctxs: list[object]) -> None:
         self._peer = peer
         self._log = log
+        self._ctxs = ctxs
         self.closing = False
 
     def write(self, data: bytes) -> None:
-        decoded, _ = decode_message(data[4:])
+        length = int.from_bytes(data[:4], "big")
+        frame = data[4:]
+        ctx = None
+        if length & _CAUSAL_FLAG:
+            ctx, consumed = decode_message(frame)
+            frame = frame[consumed:]
+        decoded, _ = decode_message(frame)
         self._log.append((self._peer, decoded))
+        self._ctxs.append(ctx)
 
     def is_closing(self) -> bool:
         return self.closing
@@ -136,16 +159,20 @@ class AsyncioDriver:
             NODE_ID, {peer: ("127.0.0.1", 0) for peer in PEERS}, loop=self.loop
         )
         self.deliveries: list[tuple[str, object]] = []
+        self.ctxs: list[object] = []
         self.writers: dict[str, _StubWriter] = {}
         for peer in PEERS:
             if peer == NODE_ID:
                 continue
-            writer = _StubWriter(peer, self.deliveries)
+            writer = _StubWriter(peer, self.deliveries, self.ctxs)
             self.writers[peer] = writer
             self.env._writers[peer] = writer
 
     def delivered(self) -> list[tuple[str, object]]:
         return self.deliveries
+
+    def contexts(self) -> list[object]:
+        return self.ctxs
 
     def advance(self, dt: float) -> None:
         # Generous real-time margin: timers in these tests use self.tick,
@@ -160,17 +187,20 @@ class AsyncioDriver:
 
 
 class _StubChannel:
-    """Captures (src, frame) channel puts and decodes the wire bytes."""
+    """Captures (src, frame, ctx) channel puts and decodes the wire bytes."""
 
-    def __init__(self, peer: str, log: list[tuple[str, object]]) -> None:
+    def __init__(self, peer: str, log: list[tuple[str, object]],
+                 ctxs: list[object]) -> None:
         self._peer = peer
         self._log = log
+        self._ctxs = ctxs
         self.closed = False
 
-    def put(self, item: tuple[str, bytes]) -> None:
-        _, frame = item
+    def put(self, item: tuple[str, bytes, bytes]) -> None:
+        _, frame, ctx_bytes = item
         decoded, _ = decode_message(frame)
         self._log.append((self._peer, decoded))
+        self._ctxs.append(decode_message(ctx_bytes)[0] if ctx_bytes else None)
 
 
 class MultiprocessDriver:
@@ -180,14 +210,18 @@ class MultiprocessDriver:
 
     def __init__(self) -> None:
         self.deliveries: list[tuple[str, object]] = []
+        self.ctxs: list[object] = []
         self.channels = {
-            peer: _StubChannel(peer, self.deliveries)
+            peer: _StubChannel(peer, self.deliveries, self.ctxs)
             for peer in PEERS if peer != NODE_ID
         }
         self.env = MultiprocessEnv(NODE_ID, self.channels)
 
     def delivered(self) -> list[tuple[str, object]]:
         return self.deliveries
+
+    def contexts(self) -> list[object]:
+        return self.ctxs
 
     def advance(self, dt: float) -> None:
         # Real-time margin, as for asyncio: timers use self.tick and every
@@ -307,3 +341,55 @@ def test_clock_is_monotonic_and_deadlines_are_absolute(driver):
     assert mid >= start
     driver.advance(driver.tick)
     assert driver.env.now() >= mid
+
+
+# -- causal-conformance battery: identical context propagation everywhere ----
+
+
+def test_every_emission_is_stamped_with_a_fresh_context(driver):
+    # One stamp per emission: a broadcast's copies share one context, and
+    # the Lamport clock ticks once per _emit, not per copy.
+    driver.env.causal.carry = True
+    driver.env.broadcast(message())
+    driver.env.send("node-2", message(2))
+    driver.advance(driver.tick)
+    ctxs = driver.contexts()
+    assert len(ctxs) == 4
+    assert all(isinstance(ctx, CausalContext) for ctx in ctxs)
+    assert ctxs[0] == ctxs[1] == ctxs[2]
+    assert ctxs[0] == CausalContext(origin=NODE_ID, lamport=1, parent=-1)
+    assert ctxs[3] == CausalContext(origin=NODE_ID, lamport=2, parent=-1)
+
+
+def test_run_inbound_merges_lamport_and_scopes_the_context(driver):
+    driver.env.causal.carry = True
+    inbound = CausalContext(origin="node-9", lamport=41, parent=7)
+    observed: list[object] = []
+
+    def handler() -> None:
+        observed.append(driver.env.causal.inbound)
+        driver.env.send("node-0", message(3))
+
+    driver.env.run_inbound(inbound, handler)
+    driver.advance(driver.tick)
+    # The merge takes max(local, remote) + 1 = 42, then the emission's
+    # stamp ticks to 43; the inbound scope is restored afterwards.
+    assert observed == [inbound]
+    assert driver.env.causal.inbound is None
+    assert driver.env.causal.lamport == 43
+    assert driver.contexts() == [
+        CausalContext(origin=NODE_ID, lamport=43, parent=-1)
+    ]
+
+
+def test_untraced_emissions_still_tick_but_carry_is_off_by_default(driver):
+    # The clock always ticks (so traced and untraced runs behave
+    # identically), but only in-process envelopes expose the context when
+    # carry is off: the framing transports must not grow wire bytes.
+    assert driver.env.causal.carry is False
+    driver.env.send("node-2", message())
+    driver.advance(driver.tick)
+    assert driver.env.causal.lamport == 1
+    in_process = isinstance(driver, (SimDriver, RecordingDriver))
+    expected = CausalContext(origin=NODE_ID, lamport=1, parent=-1) if in_process else None
+    assert driver.contexts() == [expected]

@@ -78,6 +78,38 @@ def test_artifact_schema_and_write(tmp_path):
             assert key in entry
 
 
+def test_preload_extends_an_existing_artifact_without_clobbering(tmp_path):
+    path = tmp_path / "BENCH_2026-01-02.json"
+    first = BenchRecorder(FakeClock())
+    first.record_suite("cycles:zugchain", [2.0], units=4, sim_seconds=24.0)
+    first.record_suite("obs:overhead", [1.0], units=1)
+    first.record_speedup("ab", before_s=2.0, after_s=1.0, jobs=2)
+    first.write(str(path), "2026-01-02")
+
+    second = BenchRecorder(FakeClock())
+    second.record_suite("obs:overhead", [5.0], units=1)  # re-measured: wins
+    second.preload(str(path))
+    second.write(str(path), "2026-01-02")
+
+    payload = json.loads(path.read_text())
+    assert list(payload["suites"]) == ["cycles:zugchain", "obs:overhead"]
+    assert payload["suites"]["obs:overhead"]["mean_s"] == 5.0
+    assert payload["suites"]["cycles:zugchain"]["mean_s"] == 2.0
+    assert payload["speedups"]["ab"]["speedup"] == 2.0
+
+
+def test_preload_ignores_missing_and_foreign_files(tmp_path):
+    recorder = BenchRecorder(FakeClock())
+    recorder.preload(str(tmp_path / "absent.json"))
+    foreign = tmp_path / "foreign.json"
+    foreign.write_text('{"schema": "other/1", "suites": {"x": {}}}')
+    recorder.preload(str(foreign))
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    recorder.preload(str(garbled))
+    assert recorder.suites == {} and recorder.speedups == {}
+
+
 def test_default_bench_path_convention(tmp_path):
     assert default_bench_path("2026-08-08").endswith("BENCH_2026-08-08.json")
     assert default_bench_path("2026-08-08", str(tmp_path)) == \

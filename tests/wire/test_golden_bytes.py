@@ -39,6 +39,7 @@ from repro.chain.block import Block, BlockHeader, build_block, genesis_block
 from repro.core.messages import ZugBroadcast, ZugForward
 from repro.core.statesync import StateReply, StateRequest
 from repro.crypto import HmacScheme
+from repro.obs.causal import CausalContext
 from repro.export.messages import (
     BlockFetch,
     BlockFetchReply,
@@ -136,6 +137,7 @@ FIXTURES = {
                                  block_hash=b"\xa1" * 32).signed(PAIR),
     BlockFetch: lambda: BlockFetch(dc_id="dc-1", first_height=1, last_height=2).signed(DC_PAIR),
     BlockFetchReply: lambda: BlockFetchReply(replica_id="node-1", blocks=(_block(),)).signed(PAIR),
+    CausalContext: lambda: CausalContext(origin="node-2", lamport=17, parent=4),
 }
 
 
