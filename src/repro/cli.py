@@ -76,10 +76,14 @@ def _add_bench_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "bench", help="time the figure sweeps and write a BENCH_<date>.json artifact"
     )
-    parser.add_argument("--suite", choices=("cycles", "payloads", "obs", "all"),
+    parser.add_argument("--suite",
+                        choices=("cycles", "payloads", "obs", "lint", "all"),
                         default="all", help="which figure sweeps to time "
                                             "(obs: observability hot-path "
-                                            "micro-costs, no sweep)")
+                                            "micro-costs; lint: zuglint "
+                                            "per-stage wall times, shared vs "
+                                            "standalone call graph — not part "
+                                            "of 'all'; neither runs a sweep)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes per sweep")
     parser.add_argument("--duration", type=float, default=None,
@@ -247,6 +251,26 @@ def _cmd_bench(args, out) -> int:
         ]
     recorder = BenchRecorder(wall_timer())
     rows = []
+    if args.suite == "lint":
+        from repro.lint.bench import measure_lint_stages
+
+        report = measure_lint_stages(("src", "tests"), wall_timer())
+        for stage, times in report["stages"].items():
+            recorder.record_suite(
+                f"lint:{stage}:standalone", [times["standalone_s"]],
+                units=report["files"], jobs=1,
+                extra={"findings": times["findings"]})
+            recorder.record_suite(
+                f"lint:{stage}:shared", [times["shared_s"]],
+                units=report["files"], jobs=1)
+            print(f"lint {stage:5s}    : standalone {times['standalone_s']:.3f} s, "
+                  f"shared {times['shared_s']:.3f} s "
+                  f"({report['files']} files)", file=out)
+        sm = report["stages"]["sm"]
+        recorder.record_speedup(
+            "lint:sm:shared_vs_standalone",
+            before_s=sm["standalone_s"], after_s=sm["shared_s"], jobs=1,
+            extra={"files": report["files"], "parse_s": report["parse_s"]})
     if args.suite in ("obs", "all"):
         from repro.obs.overhead import measure_obs_overhead
 

@@ -117,6 +117,8 @@ class DataCenter:
         self._acks: dict[str, DeleteAck] = {}
         self._pending_blocks: dict[int, Block] = {}
         self.rounds: list[ExportRound] = []
+        self.rounds_aborted = 0
+        self.sync_blocks_rejected = 0
 
     # -- round control -------------------------------------------------------------
 
@@ -178,7 +180,10 @@ class DataCenter:
                 self.tracer.emit("export.read_done", self.env.now(), self.config.dc_id,
                                  replies=len(self._replies),
                                  blocks=len(self._pending_blocks))
-            self._verify_and_continue()
+            try:
+                self._verify_and_continue()
+            except ChainError as exc:
+                self._abort_round(str(exc))
 
     def _designated_has_nothing_new(self) -> bool:
         """The designated replica replied but had no blocks beyond last_sn."""
@@ -240,7 +245,28 @@ class DataCenter:
             return
         for block in reply.blocks:
             self._pending_blocks[block.height] = block
-        self._verify_and_continue()
+        try:
+            self._verify_and_continue()
+        except ChainError as exc:
+            self._abort_round(str(exc))
+
+    def _abort_round(self, reason: str) -> None:
+        """A round fed inconsistent blocks dies; the data center does not.
+
+        Signatures can all check out while the block *contents* are still
+        hostile (bad links, payload-root mismatch, a head that contradicts
+        the checkpoint) — those surface as :class:`ChainError` during
+        verification.  Dropping the round and counting it keeps the
+        dispatch path exception-free (SM006) and leaves the data center
+        ready for the next ``start_export``.
+        """
+        self.rounds_aborted += 1
+        if self.tracer.enabled:
+            self.tracer.emit("export.round.aborted", self.env.now(),
+                             self.config.dc_id, reason=reason)
+        self._round = None
+        self._replies = {}
+        self._pending_blocks = {}
 
     def _finish_verification(self, checkpoint: CheckpointCertificate) -> None:
         round_ = self._round
@@ -295,7 +321,13 @@ class DataCenter:
         appended = 0
         for block in sorted(sync.blocks, key=lambda b: b.height):
             if block.height == self.archive.height + 1:
-                self.archive.append(block)
+                try:
+                    self.archive.append(block)
+                except ChainError:
+                    # A correctly signed sync can still carry garbage blocks
+                    # (the peer is mutually distrusted); reject, don't crash.
+                    self.sync_blocks_rejected += 1
+                    break
                 appended += 1
         if appended and sync.checkpoint.seq > self.last_exported_sn:
             self.last_exported_sn = sync.checkpoint.seq

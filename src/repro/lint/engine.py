@@ -166,8 +166,9 @@ class Project:
 #: Analysis stages, in pipeline order.  ``ast`` rules are single-pass
 #: syntactic checks (DET/PROTO), ``flow`` rules run the interprocedural
 #: dataflow analysis (FLOW), ``aio`` rules run the async concurrency
-#: analysis (ASYNC).  ``--stage`` on the CLI selects subsets.
-STAGES = ("ast", "flow", "aio")
+#: analysis (ASYNC), ``sm`` rules run the protocol state-machine and
+#: quorum-safety analysis (SM).  ``--stage`` on the CLI selects subsets.
+STAGES = ("ast", "flow", "aio", "sm")
 
 
 class Rule:

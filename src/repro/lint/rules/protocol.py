@@ -67,15 +67,42 @@ def _items_receiver(node: ast.expr) -> str | None:
     return None
 
 
-def _registration_driven_tables(tree: ast.Module) -> tuple[set[str], set[int]]:
-    """Dict tables consumed by a ``register_message_type`` loop/comprehension.
+def _iter_table_names(node: ast.expr) -> list[str]:
+    """Module-level table names a registration loop iterates over.
 
-    Recognizes the driven-registration idiom::
+    Understands ``TABLE.items()`` (dict tables), bare ``TABLE`` sequence
+    iteration, and the computed-tag idioms ``enumerate(TABLE, start=...)``
+    and ``zip(TAGS, CLASSES)``.
+    """
+    receiver = _items_receiver(node)
+    if receiver is not None:
+        return [receiver]
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("enumerate", "zip")
+    ):
+        return [arg.id for arg in node.args if isinstance(arg, ast.Name)]
+    return []
+
+
+def _registration_driven_tables(tree: ast.Module) -> tuple[set[str], set[int]]:
+    """Tables consumed by a ``register_message_type`` loop/comprehension.
+
+    Recognizes the driven-registration idioms::
 
         for tag, cls in TABLE.items():
             register_message_type(tag, cls)
 
-    and its comprehension form, for *any* table name.  A table that is
+        for offset, cls in enumerate(MESSAGE_TYPES):
+            register_message_type(BASE_TAG + offset, cls)
+
+        for tag, cls in zip(TAGS, MESSAGE_TYPES):
+            register_message_type(tag, cls)
+
+    and their comprehension forms, for *any* table name.  A table that is
     merely defined but never fed to the registrar yields no facts (no junk
     entries from unrelated dicts of classes).  Returns the consumed table
     names plus the ids of the register calls inside those loops, so the
@@ -92,21 +119,21 @@ def _registration_driven_tables(tree: ast.Module) -> tuple[set[str], set[int]]:
 
     for node in ast.walk(tree):
         if isinstance(node, (ast.For, ast.AsyncFor)):
-            table = _items_receiver(node.iter)
-            if table is None:
+            tables = _iter_table_names(node.iter)
+            if not tables:
                 continue
             calls = [call for stmt in node.body for call in _register_calls(stmt)]
             if calls:
-                consumed.add(table)
+                consumed.update(tables)
                 driven_calls.update(id(call) for call in calls)
         elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
             calls = _register_calls(node.elt)
             if not calls:
                 continue
             for gen in node.generators:
-                table = _items_receiver(gen.iter)
-                if table is not None:
-                    consumed.add(table)
+                tables = _iter_table_names(gen.iter)
+                if tables:
+                    consumed.update(tables)
                     driven_calls.update(id(call) for call in calls)
     return consumed, driven_calls
 
@@ -119,6 +146,9 @@ def _registrations(ctx: FileContext) -> Iterator[tuple[int | None, str, int]]:
     - the canonical literal ``WIRE_TAGS = {tag: Class}`` table,
     - any dict-literal table consumed by a ``register_message_type``
       loop or comprehension over ``TABLE.items()``,
+    - list/tuple class tables fed through ``enumerate``/``zip``/plain
+      iteration into the registrar — the tags are computed at runtime, so
+      these yield ``tag=None`` (registered, tag value unknown),
     - direct ``register_message_type(tag, Class)`` calls.
 
     Registrations computed beyond that (tags from expressions, classes
@@ -129,10 +159,15 @@ def _registrations(ctx: FileContext) -> Iterator[tuple[int | None, str, int]]:
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Assign):
             targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if not isinstance(node.value, ast.Dict):
-                continue
-            if _TAG_TABLE_NAME in targets or any(t in driven for t in targets):
-                yield from _dict_table_entries(node.value)
+            if isinstance(node.value, ast.Dict):
+                if _TAG_TABLE_NAME in targets or any(t in driven for t in targets):
+                    yield from _dict_table_entries(node.value)
+            elif isinstance(node.value, (ast.List, ast.Tuple, ast.Set)):
+                if any(t in driven for t in targets):
+                    for elt in node.value.elts:
+                        name = terminal_name(elt)
+                        if name is not None:
+                            yield None, name, elt.lineno
         elif isinstance(node, ast.Call) and id(node) not in driven_calls:
             callee = terminal_name(node.func)
             if callee == _REGISTER_FUNC and len(node.args) >= 2:

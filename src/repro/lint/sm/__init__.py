@@ -1,0 +1,8 @@
+"""Protocol state-machine & quorum-safety analysis stage (``sm``).
+
+Importing this package registers SM001–SM006.  The heavy lifting lives
+in :mod:`repro.lint.sm.facts`, which reuses the flow stage's shared call
+graph and summaries (one build per lint invocation).
+"""
+
+from . import rules  # noqa: F401  (import for side effect: rule registration)

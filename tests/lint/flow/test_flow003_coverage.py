@@ -153,6 +153,31 @@ def test_message_types_tuple_counts_as_dispatch_evidence():
     assert findings == []
 
 
+def test_dynamic_range_registration_covers_dispatched_classes():
+    # Computed tag ranges: the registry enumerates a class sequence and
+    # derives each tag at runtime.  Ping/Pong count as registered (with
+    # unknown tags), so only the truly unregistered Loose is flagged, and
+    # the dead-tag finding renders "a wire tag" instead of a number.
+    registry = """
+    from repro.wire.registry import register_message_type
+    from repro.core.cratemsgs import Ping, Pong
+
+    BASE_TAG = 0x10
+
+    _WIRE_CLASSES = [Ping, Pong]
+
+    for _offset, _cls in enumerate(_WIRE_CLASSES):
+        register_message_type(BASE_TAG + _offset, _cls)
+    """
+    findings = run(crate(registry=registry))
+    by_anchor = {finding.anchor: finding for finding in findings}
+    assert sorted(by_anchor) == [
+        "dispatched-unregistered:repro.core.cratemsgs.Loose",
+        "registered-unreachable:Pong",
+    ]
+    assert "a wire tag" in by_anchor["registered-unreachable:Pong"].message
+
+
 def test_silent_without_registrations_in_view():
     sources = crate()
     del sources["src/repro/wire/cratetags.py"]

@@ -1,0 +1,445 @@
+"""SM001–SM006: positive and negative crates for every rule.
+
+Each crate is a small replica-shaped module lint_sources maps into the
+``repro.bft`` namespace; per the ISSUE, the suite includes a deliberately
+broken quorum (``>= self.config.f``) and a duplicate-signer count
+(``len`` over a ``tuple`` of votes) that the stage must flag.
+"""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(sources, select):
+    return lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        select=list(select),
+    )
+
+
+def codes_and_anchors(findings):
+    return sorted((f.code, f.anchor) for f in findings)
+
+
+# -- SM001: quorum-threshold provenance ----------------------------------------
+
+QUORUM_CRATE = """
+class Vote:
+    pass
+
+class Commit:
+    pass
+
+class Checkpoint:
+    pass
+
+class Replica:
+    def on_message(self, src, message):
+        if isinstance(message, Vote):
+            self._on_vote(message)
+        elif isinstance(message, Commit):
+            self._on_commit(message)
+        elif isinstance(message, Checkpoint):
+            self._on_checkpoint(message)
+
+    def _on_vote(self, message):
+        self.votes[message.replica_id] = message
+        if len(self.votes) >= 3:
+            self._decide()
+
+    def _on_commit(self, message):
+        self.commits[message.replica_id] = message
+        if len(self.commits) >= self.config.f:
+            self._decide()
+
+    def _on_checkpoint(self, message):
+        quorum = 2 * self.config.f + 1
+        self.checkpoints[message.replica_id] = message
+        if len(self.checkpoints) >= quorum:
+            self._decide()
+
+    def _decide(self):
+        pass
+"""
+
+SAFE_QUORUM_CRATE = """
+class Vote:
+    pass
+
+class Reply:
+    pass
+
+class Replica:
+    def on_message(self, src, message):
+        if isinstance(message, Vote):
+            self._on_vote(message)
+        elif isinstance(message, Reply):
+            self._on_reply(message)
+
+    def _on_vote(self, message):
+        self.votes[message.replica_id] = message
+        if len(self.votes) >= self.config.quorum:
+            self._decide()
+
+    def _on_reply(self, message):
+        self.replies[message.replica_id] = message
+        if len(self.replies) >= self.config.f + 1:
+            self._decide()
+        if len(self.replies) > self.config.f:
+            self._note()
+
+    def _decide(self):
+        pass
+
+    def _note(self):
+        pass
+"""
+
+
+def test_sm001_flags_literal_bare_f_and_rederived_thresholds():
+    findings = run({"src/repro/bft/crate.py": QUORUM_CRATE}, ["SM001"])
+    anchors = sorted(f.anchor for f in findings)
+    assert anchors == [
+        "repro.bft.crate:Replica._on_checkpoint#checkpoints>=quorum",
+        "repro.bft.crate:Replica._on_commit#commits>=self.config.f",
+        "repro.bft.crate:Replica._on_vote#votes>=3",
+    ]
+    by_anchor = {f.anchor: f.message for f in findings}
+    assert "raw integer literal" in by_anchor[
+        "repro.bft.crate:Replica._on_vote#votes>=3"]
+    assert "off-by-one" in by_anchor[
+        "repro.bft.crate:Replica._on_commit#commits>=self.config.f"]
+    assert "re-derived" in by_anchor[
+        "repro.bft.crate:Replica._on_checkpoint#checkpoints>=quorum"]
+
+
+def test_sm001_accepts_config_derived_thresholds():
+    findings = run({"src/repro/bft/crate.py": SAFE_QUORUM_CRATE}, ["SM001"])
+    assert findings == []
+
+
+def test_sm001_ignores_non_protocol_modules():
+    findings = run({"src/repro/sim/crate.py": QUORUM_CRATE}, ["SM001"])
+    assert findings == []
+
+
+# -- SM002: signer-set dedup ----------------------------------------------------
+
+DEDUP_CRATE = """
+class Vote:
+    pass
+
+class CommitCert:
+    votes: tuple[Vote, ...] = ()
+
+    def verify(self, keystore, config):
+        for vote in self.votes:
+            if not vote.verify(keystore):
+                return False
+        return len(self.votes) >= config.quorum
+
+class SafeCert:
+    votes: tuple[Vote, ...] = ()
+
+    def verify(self, keystore, config):
+        signers = set()
+        for vote in self.votes:
+            if not vote.verify(keystore):
+                return False
+            signers.add(vote.replica_id)
+        return len(signers) >= config.quorum
+"""
+
+
+def test_sm002_flags_duplicate_admitting_vote_tuple():
+    findings = run({"src/repro/bft/crate.py": DEDUP_CRATE}, ["SM002"])
+    assert codes_and_anchors(findings) == [
+        ("SM002", "repro.bft.crate:CommitCert.verify#dedup:votes"),
+    ]
+    assert "duplicate votes" in findings[0].message
+
+
+def test_sm002_accepts_distinct_signer_sets():
+    findings = run({"src/repro/bft/crate.py": DEDUP_CRATE}, ["SM002"])
+    assert all("SafeCert" not in f.anchor for f in findings)
+
+
+def test_sm002_accepts_per_sender_dict_counts():
+    crate = """
+    class Vote:
+        pass
+
+    class Tally:
+        def __init__(self):
+            self.votes = {}
+
+        def decided(self, config):
+            return len(self.votes) >= config.quorum
+    """
+    assert run({"src/repro/bft/crate.py": crate}, ["SM002"]) == []
+
+
+# -- SM003: phase-transition safety ---------------------------------------------
+
+PHASE_CRATE = """
+class Prepare:
+    pass
+
+class Commit:
+    pass
+
+class Cert:
+    pass
+
+class Replica:
+    def on_message(self, src, message):
+        if isinstance(message, Prepare):
+            self._on_prepare(message)
+        elif isinstance(message, Commit):
+            self._on_commit(message)
+        elif isinstance(message, Cert):
+            self._on_cert(message)
+
+    def _on_prepare(self, message):
+        if not message.verify(self.keystore):
+            return
+        instance = self.instances[message.seq]
+        instance.prepares[message.replica_id] = message
+        instance.prepared = True
+
+    def _on_commit(self, message):
+        if not message.verify(self.keystore):
+            return
+        instance = self.instances[message.seq]
+        instance.commits[message.replica_id] = message
+        if len(instance.commits.values()) >= self.config.quorum:
+            instance.committed = True
+
+    def _on_cert(self, cert):
+        if not self._cert_ok(cert):
+            return
+        self._apply(cert)
+
+    def _cert_ok(self, cert):
+        signers = {vote.replica_id for vote in cert.votes}
+        return len(signers) >= self.config.quorum
+
+    def _apply(self, cert):
+        instance = self.instances[cert.seq]
+        instance.certified = True
+"""
+
+
+def test_sm003_flags_phase_flip_behind_signature_check_only():
+    # A verify() guard is NOT quorum evidence: _on_prepare flips .prepared
+    # after only a signature check, with no quorum comparison anywhere.
+    findings = run({"src/repro/bft/crate.py": PHASE_CRATE}, ["SM003"])
+    assert codes_and_anchors(findings) == [
+        ("SM003", "repro.bft.crate:Replica._on_prepare#phase:prepared"),
+    ]
+    assert "quorum check" in findings[0].message
+
+
+def test_sm003_accepts_in_function_quorum_guard():
+    findings = run({"src/repro/bft/crate.py": PHASE_CRATE}, ["SM003"])
+    assert all("committed" not in f.anchor for f in findings)
+
+
+def test_sm003_telescopes_through_quorum_checking_helpers():
+    # _apply flips .certified unguarded, but its only call site sits behind
+    # _cert_ok, which performs the quorum comparison.
+    findings = run({"src/repro/bft/crate.py": PHASE_CRATE}, ["SM003"])
+    assert all("certified" not in f.anchor for f in findings)
+
+
+def test_sm003_stays_silent_with_opaque_callers():
+    crate = """
+    class Snapshot:
+        pass
+
+    class Installer:
+        def _install(self, snapshot):
+            snapshot.certified = True
+    """
+    assert run({"src/repro/bft/crate.py": crate}, ["SM003"]) == []
+
+
+# -- SM004: view/seq monotonicity -----------------------------------------------
+
+MONO_CRATE = """
+class StatusMsg:
+    pass
+
+class ProbeMsg:
+    pass
+
+class Node:
+    def on_message(self, src, message):
+        if isinstance(message, StatusMsg):
+            self._on_status(message)
+        elif isinstance(message, ProbeMsg):
+            self._on_probe(message)
+
+    def _on_status(self, message):
+        self.view = message.view
+        if message.seq > self.next_seq:
+            self.next_seq = message.seq
+        self.high_seq = max(self.high_seq, message.seq)
+
+    def _on_probe(self, message):
+        self.next_seq += 1
+
+    def enter_view(self, view):
+        self.view = view
+"""
+
+
+def test_sm004_flags_unproved_view_assignment():
+    findings = run({"src/repro/bft/crate.py": MONO_CRATE}, ["SM004"])
+    assert codes_and_anchors(findings) == [
+        ("SM004", "repro.bft.crate:Node._on_status#mono:view"),
+    ]
+    assert "not provably" in findings[0].message
+
+
+def test_sm004_accepts_compare_guard_max_and_increment():
+    findings = run({"src/repro/bft/crate.py": MONO_CRATE}, ["SM004"])
+    anchors = {f.anchor for f in findings}
+    assert not any("next_seq" in a or "high_seq" in a for a in anchors)
+
+
+def test_sm004_sanctions_view_change_paths():
+    findings = run({"src/repro/bft/crate.py": MONO_CRATE}, ["SM004"])
+    assert all("enter_view" not in f.anchor for f in findings)
+
+
+# -- SM005: integer-kind confusion ----------------------------------------------
+
+KIND_CRATE = """
+class SeqMsg:
+    pass
+
+class ViewMsg:
+    pass
+
+class Tracker:
+    def on_message(self, src, message):
+        if isinstance(message, SeqMsg):
+            self._on_seq(message)
+        elif isinstance(message, ViewMsg):
+            self._on_view(message)
+
+    def _on_seq(self, message):
+        if message.seq == self.view:
+            self.hits += 1
+
+    def _on_view(self, message):
+        if message.view >= self.view:
+            self.view = message.view
+        offset = message.seq - self.last_seq
+        self.spread = offset
+"""
+
+
+def test_sm005_flags_seq_vs_view_comparison():
+    findings = run({"src/repro/bft/crate.py": KIND_CRATE}, ["SM005"])
+    assert codes_and_anchors(findings) == [
+        ("SM005", "repro.bft.crate:Tracker._on_seq#kind:message.seq:self.view"),
+    ]
+    assert "seq" in findings[0].message and "view" in findings[0].message
+
+
+def test_sm005_accepts_same_kind_compare_and_arithmetic():
+    findings = run({"src/repro/bft/crate.py": KIND_CRATE}, ["SM005"])
+    assert all("_on_view" not in f.anchor for f in findings)
+
+
+# -- SM006: handler exception-escape --------------------------------------------
+
+ESCAPE_CRATE = """
+class ChainError(Exception):
+    pass
+
+class Submit:
+    pass
+
+class Query:
+    pass
+
+class Node:
+    def handle_message(self, src, message):
+        if isinstance(message, Submit):
+            self._on_submit(message)
+        elif isinstance(message, Query):
+            self._on_query(message)
+
+    def _on_submit(self, message):
+        if not message.verify(self.keystore):
+            raise ChainError("bad signature")
+        self._append(message)
+
+    def _append(self, message):
+        if message.height != self.height + 1:
+            raise ChainError("height gap")
+        self.height = message.height
+
+    def _on_query(self, message):
+        try:
+            self._append(message)
+        except ChainError:
+            self.rejected += 1
+"""
+
+SAFE_ESCAPE_CRATE = """
+class ChainError(Exception):
+    pass
+
+class Submit:
+    pass
+
+class Query:
+    pass
+
+class Node:
+    def handle_message(self, src, message):
+        try:
+            if isinstance(message, Submit):
+                self._on_submit(message)
+            elif isinstance(message, Query):
+                self._on_query(message)
+        except ChainError:
+            self.rejected += 1
+
+    def _on_submit(self, message):
+        if not message.verify(self.keystore):
+            raise ChainError("bad signature")
+
+    def _on_query(self, message):
+        raise ChainError("queries unsupported")
+"""
+
+
+def test_sm006_flags_raises_escaping_the_dispatch_path():
+    findings = run({"src/repro/bft/crate.py": ESCAPE_CRATE}, ["SM006"])
+    anchors = sorted(f.anchor for f in findings)
+    assert anchors == [
+        "repro.bft.crate:Node.handle_message"
+        "#ChainError@repro.bft.crate:Node._append",
+        "repro.bft.crate:Node.handle_message"
+        "#ChainError@repro.bft.crate:Node._on_submit",
+    ]
+    assert all("crashes the node" in f.message for f in findings)
+
+
+def test_sm006_accepts_catch_at_the_dispatch_boundary():
+    findings = run({"src/repro/bft/crate.py": SAFE_ESCAPE_CRATE}, ["SM006"])
+    assert findings == []
+
+
+def test_sm006_local_catch_discharges_that_path():
+    # _on_query wraps its _append call; only the _on_submit path leaks the
+    # _append raise, so exactly one fact per (exception, origin) survives.
+    findings = run({"src/repro/bft/crate.py": ESCAPE_CRATE}, ["SM006"])
+    origins = [f.anchor.rsplit("@", 1)[1] for f in findings]
+    assert origins.count("repro.bft.crate:Node._append") == 1

@@ -1,0 +1,27 @@
+"""repro.lint.bench: per-stage timing behind ``repro bench --suite lint``."""
+
+import textwrap
+
+from repro.lint.bench import measure_lint_stages
+from repro.lint.engine import STAGES
+
+
+def test_measures_every_stage_twice(tmp_path):
+    crate = tmp_path / "src" / "repro" / "core"
+    crate.mkdir(parents=True)
+    (crate / "crate.py").write_text(textwrap.dedent("""
+        def handle(node, message):
+            return node.deliver(message)
+    """))
+    (tmp_path / "broken.py").write_text("def nope(:\n")
+
+    ticks = iter(range(1000))
+    report = measure_lint_stages([str(tmp_path)], timer=lambda: float(next(ticks)))
+
+    assert report["files"] == 1  # the syntax error is skipped, not fatal
+    assert report["parse_s"] >= 0
+    assert list(report["stages"]) == list(STAGES)
+    for times in report["stages"].values():
+        assert times["standalone_s"] >= 0
+        assert times["shared_s"] >= 0
+        assert times["findings"] >= 0

@@ -187,6 +187,94 @@ def test_proto001_ignores_tables_never_fed_to_the_registrar():
     assert "Pong" in findings[0].message
 
 
+def test_proto001_understands_enumerate_driven_computed_tags():
+    # Dynamic wire-type registration: tags computed from a range base over
+    # a plain class sequence.  The tags are unknowable statically, but the
+    # classes are registered and must not be flagged.
+    findings = run(
+        {
+            MESSAGE_MODULE: """
+            class Ping:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+
+            class Pong:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+
+            class Orphan:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+            """,
+            TAG_TABLE: """
+            BASE_TAG = 0x40
+
+            MESSAGE_TYPES = [Ping, Pong]
+
+            for _offset, _cls in enumerate(MESSAGE_TYPES):
+                register_message_type(BASE_TAG + _offset, _cls)
+            """,
+        },
+        select=["PROTO001"],
+    )
+    assert codes(findings) == ["PROTO001"]
+    assert "Orphan" in findings[0].message
+
+
+def test_proto001_understands_zip_driven_registration():
+    findings = run(
+        {
+            MESSAGE_MODULE: """
+            class Ping:
+                def encode(self):
+                    return b""
+
+                @classmethod
+                def decode(cls, data):
+                    return cls()
+            """,
+            TAG_TABLE: """
+            _TAGS = [0x41]
+            _CLASSES = (Ping,)
+
+            [register_message_type(tag, cls)
+             for tag, cls in zip(_TAGS, _CLASSES)]
+            """,
+        },
+        select=["PROTO001"],
+    )
+    assert not findings
+
+
+def test_registrations_yield_none_tags_for_computed_ranges():
+    import textwrap as _textwrap
+
+    from repro.lint.engine import FileContext
+    from repro.lint.rules.protocol import _registrations
+
+    ctx = FileContext.parse(TAG_TABLE, _textwrap.dedent("""
+        MESSAGE_TYPES = (Ping, Pong)
+
+        for offset, cls in enumerate(MESSAGE_TYPES, start=0x20):
+            register_message_type(offset, cls)
+    """))
+    facts = list(_registrations(ctx))
+    assert sorted(name for _tag, name, _line in facts) == ["Ping", "Pong"]
+    assert all(tag is None for tag, _name, _line in facts)
+
+
 def test_registrations_yield_table_facts_not_loop_variables():
     import textwrap as _textwrap
 

@@ -3,146 +3,32 @@
 Round-trip tests (``tests/lint/test_registry_roundtrip.py``) prove
 encode/decode are inverses *of each other* — they pass equally well
 before and after an accidental format change.  This test pins the actual
-bytes: every registered type is encoded from a frozen fixture and
-compared against checked-in hex (``golden_bytes.json``), so any codec
-change fails loudly and must be made deliberately.
+bytes: every registered type is encoded from a frozen fixture
+(``tests/wire/golden_bytes.py``) and compared against checked-in hex
+(``golden_bytes.json``), so any codec change fails loudly and must be
+made deliberately.  To regenerate after a *deliberate* format change::
 
-The fixtures are intentionally duplicated from the round-trip samples
-rather than shared: editing a round-trip sample must never silently move
-the goldens.  To regenerate after a *deliberate* format change::
+    PYTHONPATH=src python tests/wire/golden_bytes.py --write
 
-    PYTHONPATH=src python tests/wire/test_golden_bytes.py > tests/wire/golden_bytes.json
+CI additionally runs ``tests/wire/golden_bytes.py --check``, the
+standalone form of the same comparison.
 
 Along the way the test asserts ``encoded_size() == len(encode())`` for
 every type, the dynamic counterpart of zuglint's PROTO005 rule.
 """
 
-import json
-from pathlib import Path
-
 import pytest
 
-import repro.wire.tags  # noqa: F401  (populate the registry)
-from repro.bft.checkpoint import CheckpointCertificate
-from repro.bft.client import ClientRequestWrapper, Reply
-from repro.bft.linear import CommitCert, Vote
-from repro.bft.messages import (
-    Checkpoint,
-    Commit,
-    NewView,
-    PrePrepare,
-    Prepare,
-    PreparedProof,
-    ViewChange,
-)
-from repro.chain.block import Block, BlockHeader, build_block, genesis_block
-from repro.core.messages import ZugBroadcast, ZugForward
-from repro.core.statesync import StateReply, StateRequest
-from repro.crypto import HmacScheme
-from repro.obs.causal import CausalContext
-from repro.export.messages import (
-    BlockFetch,
-    BlockFetchReply,
-    DcSync,
-    DeleteAck,
-    DeleteRequest,
-    ReadReply,
-    ReadRequest,
-)
-from repro.wire import Request, SignedRequest, encode_message
+from repro.wire import encode_message
 from repro.wire.registry import registered_types
 
-GOLDEN_PATH = Path(__file__).with_name("golden_bytes.json")
-
-SCHEME = HmacScheme()
-PAIR = SCHEME.derive_keypair(b"golden-node")
-DC_PAIR = SCHEME.derive_keypair(b"golden-dc")
-
-
-def _request():
-    return Request(payload=b"golden" * 5, bus_cycle=11, recv_timestamp_us=704_000)
-
-
-def _signed():
-    return SignedRequest.create(_request(), "node-0", PAIR)
-
-
-def _preprepare():
-    return PrePrepare(view=2, seq=9, request=_signed(), primary_id="node-2").signed(PAIR)
-
-
-def _checkpoint():
-    return Checkpoint(seq=8, block_height=2, block_hash=b"\xa1" * 32,
-                      state_digest=b"\xb2" * 32, replica_id="node-0").signed(PAIR)
-
-
-def _certificate():
-    return CheckpointCertificate(seq=8, block_height=2, block_hash=b"\xa1" * 32,
-                                 state_digest=b"\xb2" * 32,
-                                 signatures=(_checkpoint(),))
-
-
-def _block():
-    return build_block(genesis_block().header, [_signed()], timestamp_us=640_064, last_sn=9)
-
-
-def _prepared_proof():
-    return PreparedProof(view=2, seq=9, digest=_signed().digest, request=_signed())
-
-
-def _vote():
-    return Vote(view=2, seq=9, digest=b"\xd4" * 32, replica_id="node-1").signed(PAIR)
-
-
-def _viewchange():
-    return ViewChange(new_view=3, last_stable_seq=8,
-                      stable_checkpoint_digest=b"\xc3" * 32,
-                      prepared=(_prepared_proof(),), replica_id="node-1").signed(PAIR)
-
-
-FIXTURES = {
-    Request: _request,
-    SignedRequest: _signed,
-    PrePrepare: _preprepare,
-    Prepare: lambda: Prepare(view=2, seq=9, digest=b"\xd4" * 32, replica_id="node-1").signed(PAIR),
-    Commit: lambda: Commit(view=2, seq=9, digest=b"\xd4" * 32, replica_id="node-3").signed(PAIR),
-    Checkpoint: _checkpoint,
-    PreparedProof: _prepared_proof,
-    ViewChange: _viewchange,
-    NewView: lambda: NewView(view=3, view_changes=(_viewchange(),),
-                             preprepares=(_preprepare(),), primary_id="node-3").signed(PAIR),
-    CheckpointCertificate: _certificate,
-    Vote: _vote,
-    CommitCert: lambda: CommitCert(view=2, seq=9, digest=b"\xd4" * 32, votes=(_vote(),)),
-    ClientRequestWrapper: lambda: ClientRequestWrapper(request=_signed()),
-    Reply: lambda: Reply(seq=9, digest=b"\xe5" * 32, client_id="client-1",
-                         replica_id="node-2").signed(PAIR),
-    ZugBroadcast: lambda: ZugBroadcast(request=_signed()),
-    ZugForward: lambda: ZugForward(request=_signed(), forwarder_id="node-2"),
-    StateRequest: lambda: StateRequest(requester_id="node-3", have_height=1).signed(PAIR),
-    StateReply: lambda: StateReply(replica_id="node-0", checkpoint=_certificate(),
-                                   blocks=(_block(),), prune_base_height=0,
-                                   prune_base_hash=genesis_block().block_hash,
-                                   prune_signatures=(("dc-0", b"\xf6" * 64),)).signed(PAIR),
-    BlockHeader: lambda: _block().header,
-    Block: _block,
-    ReadRequest: lambda: ReadRequest(dc_id="dc-1", last_sn=4, full_from="node-2").signed(DC_PAIR),
-    ReadReply: lambda: ReadReply(replica_id="node-2", checkpoint=_certificate(),
-                                 blocks=(_block(),)).signed(PAIR),
-    DcSync: lambda: DcSync(dc_id="dc-1", checkpoint=_certificate(),
-                           blocks=(_block(),)).signed(DC_PAIR),
-    DeleteRequest: lambda: DeleteRequest(dc_id="dc-1", upto_sn=8, block_height=2,
-                                         block_hash=b"\xa1" * 32).signed(DC_PAIR),
-    DeleteAck: lambda: DeleteAck(replica_id="node-1", block_height=2,
-                                 block_hash=b"\xa1" * 32).signed(PAIR),
-    BlockFetch: lambda: BlockFetch(dc_id="dc-1", first_height=1, last_height=2).signed(DC_PAIR),
-    BlockFetchReply: lambda: BlockFetchReply(replica_id="node-1", blocks=(_block(),)).signed(PAIR),
-    CausalContext: lambda: CausalContext(origin="node-2", lamport=17, parent=4),
-}
-
-
-def _golden() -> dict[str, str]:
-    return json.loads(GOLDEN_PATH.read_text())
+from tests.wire.golden_bytes import (
+    FIXTURES,
+    current_bytes,
+    diff_golden,
+    load_golden,
+    main,
+)
 
 
 def test_every_registered_type_has_a_golden_fixture():
@@ -151,7 +37,7 @@ def test_every_registered_type_has_a_golden_fixture():
         f"registered message types without golden fixtures: {missing}; "
         "add a factory to FIXTURES and regenerate golden_bytes.json"
     )
-    golden = _golden()
+    golden = load_golden()
     stale = [cls.__name__ for cls in FIXTURES if cls.__name__ not in golden]
     assert not stale, f"fixtures missing from golden_bytes.json: {stale}; regenerate it"
 
@@ -164,7 +50,7 @@ def test_every_registered_type_has_a_golden_fixture():
 def test_encoded_bytes_match_checked_in_golden(tag, cls):
     message = FIXTURES[cls]()
     encoded = encode_message(message)
-    expected = _golden()[cls.__name__]
+    expected = load_golden()[cls.__name__]
     assert encoded.hex() == expected, (
         f"{cls.__name__} wire bytes changed; if this is a deliberate format "
         "change, regenerate tests/wire/golden_bytes.json (see module docstring) "
@@ -185,9 +71,22 @@ def test_encoded_size_agrees_with_encode(tag, cls):
     assert message.encoded_size() == len(message.encode())
 
 
-if __name__ == "__main__":  # regeneration helper, see module docstring
-    print(json.dumps(
-        {cls.__name__: encode_message(factory()).hex() for cls, factory in FIXTURES.items()},
-        indent=2,
-        sort_keys=True,
-    ))
+def test_check_helper_agrees_with_the_checked_in_file(capsys):
+    assert diff_golden() == []
+    assert main(["--check"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_check_helper_reports_drift(tmp_path, monkeypatch, capsys):
+    import tests.wire.golden_bytes as gb
+
+    drifted = dict(current_bytes())
+    name = sorted(drifted)[0]
+    drifted[name] = "00" + drifted[name][2:]
+    bad = tmp_path / "golden_bytes.json"
+    bad.write_text(__import__("json").dumps(drifted))
+    monkeypatch.setattr(gb, "GOLDEN_PATH", bad)
+    assert gb.main(["--check"]) == 1
+    err = capsys.readouterr().err
+    assert name in err
+    assert "--write" in err
