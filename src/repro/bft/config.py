@@ -22,6 +22,8 @@ class BftConfig:
     watermark_window: int = 200          # high watermark = low + window
     view_change_timeout_s: float = 0.5   # baseline's timeout (§V-B, Fig. 8)
     max_open_per_node: int = 16          # DoS rate limit on open requests (§III-C)
+    gap_fetch_timeout_s: float = 0.3     # execution-stall detection delay
+    max_gap_fetch_span: int = 20         # decided seqs requested per fetch
 
     def __post_init__(self) -> None:
         n = len(self.replica_ids)

@@ -224,6 +224,28 @@ class LinearBftReplica:
             del self._instances[seq]
         self._execute_ready()
 
+    def adopt_view(self, view: int) -> None:
+        """Adopt a higher view learned out of band (state transfer).
+
+        Same contract as :meth:`PbftReplica.adopt_view`: strictly monotonic,
+        liveness-only — a recovering replica stops suspecting a primary the
+        rest of the cluster deposed while it was down.
+        """
+        if view <= self.view:
+            return
+        if self.in_view_change and self.tracer.enabled:
+            self.tracer.emit("bft.viewchange.end", self.env.now(), self.id,
+                             view=view)
+        self.view = view
+        self.in_view_change = False
+        if self._vc_timer is not None:
+            self._vc_timer.cancel()
+            self._vc_timer = None
+        self._view_changes = {
+            v: votes for v, votes in self._view_changes.items() if v > view
+        }
+        self._on_new_primary(self.primary_id)
+
     def vote_is_redundant(self, message: Any) -> bool:
         if isinstance(message, Vote):
             if message.seq < self._next_exec:

@@ -27,6 +27,8 @@ _DOMAIN_COMMIT = b"pbft/commit"
 _DOMAIN_CHECKPOINT = b"pbft/checkpoint"
 _DOMAIN_VIEWCHANGE = b"pbft/viewchange"
 _DOMAIN_NEWVIEW = b"pbft/newview"
+_DOMAIN_DECIDE_FETCH = b"pbft/decide-fetch"
+_DOMAIN_DECIDE_PROOF = b"pbft/decide-proof"
 
 
 @dataclass(frozen=True)
@@ -344,6 +346,115 @@ class NewView:
         return cls(view=view, view_changes=tuple(view_changes),
                    preprepares=tuple(preprepares), primary_id=primary_id,
                    signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class DecideFetch:
+    """A stalled replica asks a peer to replay decided sequence numbers.
+
+    Message loss (or a view change discarding in-flight instances) can
+    leave a replica with an *execution gap*: later sequence numbers commit
+    while ``first_seq`` never arrives, so in-order execution stalls and —
+    once every correct node shares a gap somewhere — checkpoints can never
+    reach quorum again.  The fetch asks one peer for the decided instances
+    in ``[first_seq, last_seq]``; the peer answers with
+    :class:`DecideProof` per sequence number it still holds.
+    """
+
+    requester_id: str
+    first_seq: int
+    last_seq: int
+    signature: bytes = _UNSIGNED
+
+    def signing_payload(self) -> bytes:
+        return sha256(
+            self.requester_id.encode(),
+            self.first_seq.to_bytes(8, "big"),
+            self.last_seq.to_bytes(8, "big"),
+            domain=_DOMAIN_DECIDE_FETCH,
+        )
+
+    def signed(self, keypair: KeyPair) -> "DecideFetch":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.requester_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_str(self.requester_id)
+        writer.put_uint(self.first_seq)
+        writer.put_uint(self.last_seq)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DecideFetch":
+        reader = Reader(data)
+        requester_id = reader.get_str()
+        first_seq = reader.get_uint()
+        last_seq = reader.get_uint()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(requester_id=requester_id, first_seq=first_seq,
+                   last_seq=last_seq, signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class DecideProof:
+    """One decided instance replayed: the preprepare plus its commit certificate.
+
+    The proof is view-independent: 2f+1 signed commits on one
+    ``(seq, digest)`` mean at least f+1 correct replicas committed it, and
+    PBFT safety guarantees no conflicting digest can ever gather the same
+    quorum — so a receiver may execute the request no matter which view it
+    is currently in.  The outer signature only authenticates the responder;
+    validity rests entirely on the inner signatures.
+    """
+
+    replica_id: str
+    preprepare: PrePrepare
+    commits: tuple[Commit, ...]
+    signature: bytes = _UNSIGNED
+
+    def signing_payload(self) -> bytes:
+        return sha256(
+            self.replica_id.encode(),
+            self.preprepare.encode(),
+            *[commit.encode() for commit in self.commits],
+            domain=_DOMAIN_DECIDE_PROOF,
+        )
+
+    def signed(self, keypair: KeyPair) -> "DecideProof":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.replica_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_str(self.replica_id)
+        writer.put_bytes(self.preprepare.encode())
+        writer.put_list(list(self.commits), lambda w, c: w.put_bytes(c.encode()))
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DecideProof":
+        reader = Reader(data)
+        replica_id = reader.get_str()
+        preprepare = PrePrepare.decode(reader.get_bytes())
+        commits = reader.get_list(lambda r: Commit.decode(r.get_bytes()))
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(replica_id=replica_id, preprepare=preprepare,
+                   commits=tuple(commits), signature=signature)
 
     def encoded_size(self) -> int:
         return len(self.encode())

@@ -31,6 +31,8 @@ from repro.bft.env import Env
 from repro.bft.messages import (
     Checkpoint,
     Commit,
+    DecideFetch,
+    DecideProof,
     NewView,
     PrePrepare,
     Prepare,
@@ -39,7 +41,7 @@ from repro.bft.messages import (
 )
 from repro.crypto.keys import KeyPair, KeyStore
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.wire.messages import SignedRequest
+from repro.wire.messages import SignedRequest, null_request
 
 
 @dataclass
@@ -64,14 +66,19 @@ class ReplicaStats:
     stale_messages: int = 0
     conflicting_preprepares: int = 0
     view_changes_completed: int = 0
+    view_changes_abandoned: int = 0
     checkpoints_stable: int = 0
+    gap_fetches_sent: int = 0
+    gap_proofs_served: int = 0
+    gap_seqs_filled: int = 0
 
 
 class PbftReplica:
     """One PBFT replica bound to an :class:`~repro.bft.env.Env`."""
 
     #: Message types this backend consumes (used by node-level dispatch).
-    MESSAGE_TYPES = (PrePrepare, Prepare, Commit, Checkpoint, ViewChange, NewView)
+    MESSAGE_TYPES = (PrePrepare, Prepare, Commit, Checkpoint, ViewChange, NewView,
+                     DecideFetch, DecideProof)
 
     def __init__(
         self,
@@ -106,6 +113,8 @@ class PbftReplica:
         self._checkpoints = CheckpointCollector(config, keystore)
         self._view_changes: dict[int, dict[str, ViewChange]] = {}
         self._vc_timer = None
+        self._gap_timer = None
+        self._gap_attempt = 0
         self._log_bytes = 0
         self.stats = ReplicaStats()
 
@@ -153,6 +162,30 @@ class PbftReplica:
                               if s > certificate.seq}
         self._garbage_collect(certificate.seq)
         self._execute_ready()
+
+    def adopt_view(self, view: int) -> None:
+        """Adopt a higher view learned out of band (state transfer).
+
+        A replica recovering from a crash may have slept through several
+        view changes; without catching up it would keep suspecting the old
+        primary and open view changes no live quorum will ever close.  The
+        guard is strictly monotonic — stale or equal views are ignored — so
+        this can only move the replica forward, never roll it back.
+        """
+        if view <= self.view:
+            return
+        if self.in_view_change and self.tracer.enabled:
+            self.tracer.emit("bft.viewchange.end", self.env.now(), self.id,
+                             view=view)
+        self.view = view
+        self.in_view_change = False
+        if self._vc_timer is not None:
+            self._vc_timer.cancel()
+            self._vc_timer = None
+        self._view_changes = {
+            v: votes for v, votes in self._view_changes.items() if v > view
+        }
+        self._on_new_primary(self.primary_id)
 
     # -- downcalls (Table I) ------------------------------------------------------
 
@@ -223,6 +256,10 @@ class PbftReplica:
             self._on_view_change(message)
         elif isinstance(message, NewView):
             self._on_new_view(message)
+        elif isinstance(message, DecideFetch):
+            self._on_decide_fetch(message)
+        elif isinstance(message, DecideProof):
+            self._on_decide_proof(message)
         # Unknown message types are ignored: a Byzantine peer may send junk.
 
     # -- ordering: preprepare / prepare / commit ------------------------------------
@@ -364,6 +401,134 @@ class PbftReplica:
             self._next_exec = seq + 1
             self.stats.decided += 1
             self._on_decide(request, seq)
+        self._update_gap_timer()
+
+    # -- execution gap fill ----------------------------------------------------------
+
+    def _update_gap_timer(self) -> None:
+        """Arm stall detection while commits wait above an execution gap.
+
+        Lost preprepares (or a view change discarding in-flight instances)
+        can leave later sequence numbers committed in ``_pending_exec``
+        while ``_next_exec`` never arrives.  Without repair the replica
+        stalls forever, its checkpoint votes go missing, and — once every
+        correct node carries a gap somewhere — no checkpoint reaches 2f+1
+        again and the whole group wedges.
+        """
+        if self._pending_exec:
+            if self._gap_timer is None or not self._gap_timer.active:
+                delay = self.config.gap_fetch_timeout_s * (2 ** min(self._gap_attempt, 4))
+                self._gap_timer = self.env.set_timer(delay, self._on_gap_timeout)
+        else:
+            if self._gap_timer is not None:
+                self._gap_timer.cancel()
+                self._gap_timer = None
+            self._gap_attempt = 0
+
+    def _on_gap_timeout(self) -> None:
+        self._gap_timer = None
+        if not self._pending_exec:
+            self._gap_attempt = 0
+            return
+        first = self._next_exec
+        last = min(max(self._pending_exec),
+                   first + self.config.max_gap_fetch_span - 1)
+        peers = [rid for rid in self.config.replica_ids if rid != self.id]
+        if not peers:
+            return
+        # Round-robin the target: the first peer asked may be crashed,
+        # partitioned, or itself missing the instances.
+        target = peers[self._gap_attempt % len(peers)]
+        fetch = DecideFetch(
+            requester_id=self.id, first_seq=first, last_seq=last,
+        ).signed(self.keypair)
+        self.env.send(target, fetch)
+        self.stats.gap_fetches_sent += 1
+        self._gap_attempt += 1
+        if self.tracer.enabled:
+            self.tracer.emit("bft.gap.fetch", self.env.now(), self.id,
+                             first_seq=first, last_seq=last, peer=target)
+        self._update_gap_timer()
+
+    def _on_decide_fetch(self, fetch: DecideFetch) -> None:
+        if not self.config.is_member(fetch.requester_id) or fetch.requester_id == self.id:
+            self.stats.stale_messages += 1
+            return
+        if fetch.last_seq < fetch.first_seq:
+            self.stats.stale_messages += 1
+            return
+        if not fetch.verify(self.keystore):
+            self.stats.invalid_signatures += 1
+            return
+        last = min(fetch.last_seq,
+                   fetch.first_seq + self.config.max_gap_fetch_span - 1)
+        for seq in range(fetch.first_seq, last + 1):
+            instance = self._instances.get(seq)
+            if instance is None or not instance.committed or instance.preprepare is None:
+                continue
+            digest = instance.preprepare.digest
+            commits = tuple(sorted(
+                (c for c in instance.commits.values() if c.digest == digest),
+                key=lambda c: c.replica_id,
+            ))
+            if len(commits) < self.config.quorum:
+                continue
+            proof = DecideProof(
+                replica_id=self.id, preprepare=instance.preprepare,
+                commits=commits,
+            ).signed(self.keypair)
+            self.env.send(fetch.requester_id, proof)
+            self.stats.gap_proofs_served += 1
+
+    def _on_decide_proof(self, proof: DecideProof) -> None:
+        preprepare = proof.preprepare
+        seq = preprepare.seq
+        if seq < self._next_exec or seq <= self.last_stable_seq:
+            self.stats.stale_messages += 1
+            return
+        if not self.config.is_member(proof.replica_id) or not proof.verify(self.keystore):
+            self.stats.invalid_signatures += 1
+            return
+        if not preprepare.verify(self.keystore) or not preprepare.request.verify(self.keystore):
+            self.stats.invalid_signatures += 1
+            return
+        digest = preprepare.digest
+        signers: set[str] = set()
+        for commit in proof.commits:
+            if commit.seq != seq or commit.digest != digest:
+                self.stats.invalid_signatures += 1
+                return
+            if not self.config.is_member(commit.replica_id) or not commit.verify(self.keystore):
+                self.stats.invalid_signatures += 1
+                return
+            signers.add(commit.replica_id)
+        if len(signers) < self.config.quorum:
+            self.stats.invalid_signatures += 1
+            return
+        instance = self._instance(seq)
+        if instance.executed:
+            return
+        # The certificate outranks local state: 2f+1 commits on this digest
+        # mean f+1 correct replicas committed it, and no conflicting digest
+        # can ever gather the same quorum — a differing stored preprepare is
+        # a leftover from a discarded view.
+        if instance.preprepare is None or instance.preprepare.digest != digest:
+            instance.preprepare = preprepare
+            self._log_bytes += preprepare.encoded_size()
+        for commit in proof.commits:
+            if commit.replica_id not in instance.commits:
+                instance.commits[commit.replica_id] = commit
+                self._log_bytes += commit.encoded_size()
+        newly_committed = not instance.committed
+        instance.prepared = True
+        instance.committed = True
+        if newly_committed:
+            self.stats.gap_seqs_filled += 1
+            if self.tracer.enabled:
+                self.tracer.emit("bft.gap.filled", self.env.now(), self.id,
+                                 seq=seq, digest=digest.hex())
+        self._pending_exec[seq] = preprepare.request
+        self._execute_ready()
 
     # -- checkpointing ---------------------------------------------------------------
 
@@ -398,9 +563,15 @@ class PbftReplica:
             # group is live in the current view — abandon the view change
             # (a wedged minority suspecter must not ignore progress forever).
             self.in_view_change = False
+            self.stats.view_changes_abandoned += 1
             if self._vc_timer is not None:
                 self._vc_timer.cancel()
                 self._vc_timer = None
+            if self.tracer.enabled:
+                # The stall is over even though no new view was installed:
+                # this node resumes ordering in the view it never left.
+                self.tracer.emit("bft.viewchange.end", self.env.now(), self.id,
+                                 view=self.view, abandoned=True)
         if certificate.seq > self.last_stable_seq:
             self.last_stable_seq = certificate.seq
             self._garbage_collect(certificate.seq)
@@ -424,10 +595,15 @@ class PbftReplica:
     # -- view change -------------------------------------------------------------------
 
     def _prepared_proofs(self) -> tuple[PreparedProof, ...]:
+        # Executed-but-not-yet-stable instances are included on purpose:
+        # a seq committed anywhere was prepared at 2f+1 replicas, and the
+        # new primary must learn about it from *some* view change in its
+        # quorum or it would plug the seq with a null request — which a
+        # lagging backup would then execute in place of the real one.
         proofs = []
         for seq in sorted(self._instances):
             instance = self._instances[seq]
-            if instance.prepared and not instance.executed and instance.preprepare is not None:
+            if instance.prepared and instance.preprepare is not None:
                 proofs.append(PreparedProof(
                     view=instance.preprepare.view,
                     seq=seq,
@@ -517,10 +693,21 @@ class PbftReplica:
                 if current is None or proof.view > current.view:
                     best[proof.seq] = proof
         preprepares = []
-        for seq in sorted(best):
-            proof = best[seq]
+        top = max(best) if best else min_stable
+        for seq in range(min_stable + 1, top + 1):
+            proof = best.get(seq)
+            if proof is not None:
+                request = proof.request
+            else:
+                # No prepared proof anywhere in the quorum: nothing can have
+                # committed at this seq, so plug the hole with a null request
+                # (PBFT's gap rule) — otherwise in-order execution stalls
+                # forever on a number nobody will ever propose again.
+                request = SignedRequest.create(
+                    null_request(seq), self.id, self.keypair
+                )
             preprepares.append(PrePrepare(
-                view=new_view, seq=seq, request=proof.request, primary_id=self.id,
+                view=new_view, seq=seq, request=request, primary_id=self.id,
             ).signed(self.keypair))
         return tuple(preprepares)
 
@@ -573,5 +760,10 @@ class PbftReplica:
                 self._broadcast_preprepare(preprepare)
         else:
             for preprepare in preprepares:
+                # Reproposals now cover executed instances too; re-accepting
+                # one locally executed would flag a digest conflict against
+                # the retained old-view preprepare.
+                if preprepare.seq < self._next_exec:
+                    continue
                 self._on_preprepare(preprepare)
         self._on_new_primary(self.primary_id)

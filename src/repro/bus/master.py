@@ -56,6 +56,7 @@ class MvbMaster:
         self._rng = rng
         self._devices: dict[str, tuple[Callable[[BusCycleData], None], ReceptionFaults]] = {}
         self._offline: set[str] = set()
+        self._skew_s: dict[str, float] = {}
         self._cycle_no = 0
         self._running = False
         self.cycles_emitted = 0
@@ -93,6 +94,20 @@ class MvbMaster:
         else:
             self._offline.discard(device_id)
 
+    def set_skew(self, device_id: str, offset_s: float) -> None:
+        """Clock skew: deliver cycles to ``device_id`` ``offset_s`` late.
+
+        Models a device whose local cycle clock has drifted — it still sees
+        every telegram, but after the rest of the bus (§III-C gray failures).
+        A zero offset restores synchronous delivery.
+        """
+        if offset_s < 0:
+            raise ConfigError(f"bus skew must be non-negative, got {offset_s}")
+        if offset_s > 0:
+            self._skew_s[device_id] = offset_s
+        else:
+            self._skew_s.pop(device_id, None)
+
     def start(self) -> None:
         if self._running:
             raise ConfigError("bus master already running")
@@ -116,6 +131,16 @@ class MvbMaster:
         for device_id, (on_cycle, fault_state) in self._devices.items():
             if device_id in self._offline:
                 continue
-            for delivery in fault_state.apply(cycle):
-                on_cycle(delivery)
+            deliveries = list(fault_state.apply(cycle))
+            skew = self._skew_s.get(device_id, 0.0)
+            if skew > 0:
+                # A skewed device's deliveries leave the synchronous instant;
+                # the default argument pins the current cycle's telegrams.
+                self._kernel.schedule(
+                    skew,
+                    lambda frames=deliveries, cb=on_cycle: [cb(d) for d in frames],
+                )
+            else:
+                for delivery in deliveries:
+                    on_cycle(delivery)
         self._kernel.schedule(self._config.cycle_time_s, self._tick)

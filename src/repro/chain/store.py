@@ -62,3 +62,55 @@ class BlockStore:
 
     def load_all(self) -> list[Block]:
         return [self.read(height) for height in self.heights()]
+
+
+class MemoryBlockStore:
+    """In-memory stand-in for :class:`BlockStore` with the same interface.
+
+    Used by the simulated cluster to model per-node durable storage (§V-B)
+    without touching the filesystem: a fail-stop crash destroys the node
+    object but not its store, so ``recover_node`` can rehydrate the chain
+    exactly as a real node would replay its disk after power loss.  Blocks
+    round-trip through ``encode()``/``decode()`` so the store holds bytes,
+    not live object references — recovery reads what was persisted, not
+    what the dead node remembered.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, bytes] = {}
+        # Most recent stable checkpoint certificate, persisted alongside the
+        # blocks (as a real deployment would fsync it with the chain) so a
+        # recovering replica can fast-forward its watermarks before StateSync.
+        self._checkpoint: bytes | None = None
+
+    def write(self, block: Block) -> int:
+        self._blocks[block.height] = block.encode()
+        return block.height
+
+    def read(self, height: int) -> Block:
+        encoded = self._blocks.get(height)
+        if encoded is None:
+            raise ChainError(f"no stored block at height {height}")
+        block = Block.decode(encoded)
+        if block.height != height:
+            raise ChainError(
+                f"stored entry for height {height} contains block {block.height}"
+            )
+        if not block.verify_payload():
+            raise ChainError(f"stored block {height} failed payload verification")
+        return block
+
+    def delete(self, height: int) -> bool:
+        return self._blocks.pop(height, None) is not None
+
+    def heights(self) -> list[int]:
+        return sorted(self._blocks)
+
+    def load_all(self) -> list[Block]:
+        return [self.read(height) for height in self.heights()]
+
+    def write_checkpoint(self, encoded_certificate: bytes) -> None:
+        self._checkpoint = encoded_certificate
+
+    def read_checkpoint(self) -> bytes | None:
+        return self._checkpoint

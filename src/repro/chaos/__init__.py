@@ -1,0 +1,56 @@
+"""Chaos campaign engine: declarative fault injection over the simulated testbed.
+
+Three layers:
+
+* :mod:`repro.chaos.spec` — the DSL: frozen, hashable fault specs
+  (:class:`LinkDegrade`, :class:`LinkFlap`, :class:`LossWindow`,
+  :class:`BusSkew`, :class:`CrashRecover`, :class:`ByzantineWindow`)
+  composed into a :class:`FaultSchedule`;
+* :mod:`repro.chaos.inject` — :class:`ChaosInjector` arms a schedule
+  against a live :class:`~repro.scenarios.cluster.SimulatedCluster`;
+* :mod:`repro.chaos.campaign` — named, seeded campaigns gated on the
+  invariant oracle, replayable byte-identically from
+  ``(campaign, seed, index)``.
+"""
+
+from repro.chaos.campaign import (
+    CAMPAIGNS,
+    Campaign,
+    RunRecord,
+    derive_run_seed,
+    get_campaign,
+    replay_run,
+    run_campaign,
+    run_one,
+)
+from repro.chaos.inject import ChaosInjector
+from repro.chaos.spec import (
+    BusSkew,
+    ByzantineWindow,
+    CrashRecover,
+    FaultSchedule,
+    FaultSpec,
+    LinkDegrade,
+    LinkFlap,
+    LossWindow,
+)
+
+__all__ = [
+    "BusSkew",
+    "ByzantineWindow",
+    "CAMPAIGNS",
+    "Campaign",
+    "ChaosInjector",
+    "CrashRecover",
+    "FaultSchedule",
+    "FaultSpec",
+    "LinkDegrade",
+    "LinkFlap",
+    "LossWindow",
+    "RunRecord",
+    "derive_run_seed",
+    "get_campaign",
+    "replay_run",
+    "run_campaign",
+    "run_one",
+]

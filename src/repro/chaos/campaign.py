@@ -1,0 +1,334 @@
+"""Randomized-but-reproducible chaos campaigns, gated on the oracle.
+
+A campaign names a fault-schedule *generator*: given a seeded RNG stream it
+draws a concrete :class:`~repro.chaos.spec.FaultSchedule`, builds a fresh
+:class:`~repro.scenarios.cluster.SimulatedCluster` whose master seed is
+derived from ``(campaign, seed, index)``, injects the schedule, runs, and
+judges the trace with the invariant oracle (OBS001–008).
+
+The replay contract: every run is a pure function of the triple
+``(campaign, seed, index)``.  Re-running the triple reproduces the same
+schedule (hash-checked), the same trace bytes (sha256-checked), the same
+findings, and the same head hashes — a failing campaign run is a
+permanent, shareable artifact, not a flake.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field, replace
+from random import Random
+from typing import Callable
+
+from repro.chaos.inject import ChaosInjector
+from repro.chaos.spec import (
+    BusSkew,
+    ByzantineWindow,
+    CrashRecover,
+    FaultSchedule,
+    LinkDegrade,
+    LinkFlap,
+    LossWindow,
+)
+from repro.obs.sinks import encode_event
+from repro.obs.trace import RecordingTracer
+from repro.scenarios.cluster import ScenarioConfig, SimulatedCluster
+from repro.util.errors import ConfigError
+
+
+def derive_run_seed(campaign: str, seed: int, index: int) -> int:
+    """The cluster master seed for one run — stable across processes."""
+    material = f"chaos:{campaign}:{seed}:{index}".encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One named fault-injection experiment."""
+
+    name: str
+    description: str
+    generate: Callable[[Random], FaultSchedule]
+    duration_s: float = 10.0
+    #: Post-run drain with the bus stopped: in-flight consensus completes,
+    #: so correct nodes converge on one head before the verdict.
+    settle_s: float = 3.0
+    #: Inverted gate: the run *passes* only if the oracle finds violations
+    #: (used to prove the oracle catches what it claims to catch).
+    must_fail: bool = False
+    config: ScenarioConfig = field(default_factory=ScenarioConfig)
+
+
+@dataclass
+class RunRecord:
+    """Everything one campaign run produced, replay-comparable."""
+
+    campaign: str
+    seed: int
+    index: int
+    run_seed: int
+    schedule_hash: str
+    n_faults: int
+    duration_s: float
+    faults_applied: int
+    faults_cleared: int
+    findings: list[dict]
+    head_hashes: dict[str, str]
+    converged: bool
+    counters: dict[str, int]
+    trace_events: int
+    trace_sha256: str
+    passed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "seed": self.seed,
+            "index": self.index,
+            "run_seed": self.run_seed,
+            "schedule_hash": self.schedule_hash,
+            "n_faults": self.n_faults,
+            "duration_s": self.duration_s,
+            "faults_applied": self.faults_applied,
+            "faults_cleared": self.faults_cleared,
+            "findings": self.findings,
+            "head_hashes": self.head_hashes,
+            "converged": self.converged,
+            "counters": self.counters,
+            "trace_events": self.trace_events,
+            "trace_sha256": self.trace_sha256,
+            "passed": self.passed,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Schedule generators (all draws from the single campaign RNG stream)
+# ---------------------------------------------------------------------------
+
+
+def _pick_node(rng: Random, n: int = 4) -> str:
+    return f"node-{rng.randrange(n)}"
+
+
+def _gen_gray_failure(rng: Random) -> FaultSchedule:
+    """Degraded links, short loss windows, and one flapping link."""
+    faults = []
+    t = 1.0
+    for _ in range(rng.randrange(2, 4)):
+        src, dst = _pick_node(rng), _pick_node(rng)
+        faults.append(LinkDegrade(
+            start_s=round(t, 3),
+            duration_s=round(1.0 + rng.random() * 1.5, 3),
+            src=src, dst="*" if rng.random() < 0.3 else dst,
+            latency_s=round(2e-3 + rng.random() * 15e-3, 6),
+            jitter_s=round(0.5e-3 + rng.random() * 3e-3, 6),
+            loss_prob=round(rng.random() * 0.05, 3),
+        ))
+        t += 0.7 + rng.random()
+    faults.append(LossWindow(
+        start_s=round(t, 3),
+        duration_s=round(0.8 + rng.random() * 0.8, 3),
+        src=_pick_node(rng), dst="*",
+        loss_prob=round(0.05 + rng.random() * 0.10, 3),
+    ))
+    t += 1.5 + rng.random()
+    faults.append(LinkFlap(
+        start_s=round(t, 3),
+        duration_s=round(0.2 + rng.random() * 0.3, 3),
+        src=_pick_node(rng), dst=_pick_node(rng),
+        flaps=rng.randrange(2, 4),
+        up_s=round(0.3 + rng.random() * 0.4, 3),
+    ))
+    return FaultSchedule(tuple(faults))
+
+
+def _gen_crash_storm(rng: Random) -> FaultSchedule:
+    """Sequential fail-stop crashes with recovery and StateSync rejoin.
+
+    One node down at a time (n=4 tolerates f=1), with enough headroom
+    after each recovery for the next stable checkpoint to trigger sync.
+    """
+    faults = []
+    t = 1.5
+    for _ in range(2):
+        node = _pick_node(rng)
+        down = round(1.0 + rng.random() * 1.0, 3)
+        faults.append(CrashRecover(start_s=round(t, 3), duration_s=down, node=node))
+        t += down + 3.5 + rng.random()
+    return FaultSchedule(tuple(faults))
+
+
+def _gen_clock_skew(rng: Random) -> FaultSchedule:
+    """Skewed bus cycles: devices fall behind the master's synchronous instant."""
+    faults = []
+    t = 1.0
+    for _ in range(rng.randrange(2, 4)):
+        faults.append(BusSkew(
+            start_s=round(t, 3),
+            duration_s=round(1.0 + rng.random() * 1.5, 3),
+            node=_pick_node(rng),
+            skew_s=round(0.005 + rng.random() * 0.025, 4),
+        ))
+        t += 1.2 + rng.random()
+    return FaultSchedule(tuple(faults))
+
+
+def _gen_fabrication(rng: Random) -> FaultSchedule:
+    """A windowed fabrication attack the oracle must flag (OBS003)."""
+    return FaultSchedule((
+        ByzantineWindow(
+            start_s=round(1.0 + rng.random(), 3),
+            duration_s=round(1.5 + rng.random() * 1.5, 3),
+            node=_pick_node(rng),
+            fabricate_per_cycle=round(0.3 + rng.random() * 0.5, 3),
+        ),
+    ))
+
+
+CAMPAIGNS: dict[str, Campaign] = {
+    campaign.name: campaign
+    for campaign in (
+        Campaign(
+            name="gray-failure",
+            description="degraded/flapping links and loss windows on the "
+                        "consensus Ethernet; the chain must stay clean",
+            generate=_gen_gray_failure,
+            duration_s=10.0,
+        ),
+        Campaign(
+            name="crash-recovery-storm",
+            description="sequential fail-stop crashes; recovered nodes must "
+                        "rejoin via StateSync and converge on one head",
+            generate=_gen_crash_storm,
+            duration_s=14.0,
+            settle_s=4.0,
+        ),
+        Campaign(
+            name="clock-skew",
+            description="MVB cycle delivery skewed per device; ordering and "
+                        "the juridical invariants must hold",
+            generate=_gen_clock_skew,
+            duration_s=8.0,
+        ),
+        Campaign(
+            name="fabrication",
+            description="windowed Byzantine fabrication; PASSES only if the "
+                        "oracle flags the attack (must-fail gate)",
+            generate=_gen_fabrication,
+            duration_s=6.0,
+            must_fail=True,
+        ),
+    )
+}
+
+
+def get_campaign(name: str) -> Campaign:
+    campaign = CAMPAIGNS.get(name)
+    if campaign is None:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise ConfigError(f"unknown campaign {name!r} (known: {known})")
+    return campaign
+
+
+# ---------------------------------------------------------------------------
+# Running and replaying
+# ---------------------------------------------------------------------------
+
+
+def run_one(
+    campaign: Campaign,
+    seed: int,
+    index: int,
+    trace_path: str | None = None,
+) -> RunRecord:
+    """Execute one run of ``campaign``; pure in ``(campaign, seed, index)``."""
+    run_seed = derive_run_seed(campaign.name, seed, index)
+    schedule = campaign.generate(Random(run_seed)).canonical()
+    config = replace(
+        campaign.config,
+        seed=run_seed,
+        byzantine={**campaign.config.byzantine, **schedule.byzantine_specs()},
+    )
+    tracer = RecordingTracer()
+    cluster = SimulatedCluster(config, tracer=tracer)
+    injector = ChaosInjector(cluster, schedule)
+    injector.install()
+    cluster.run(duration_s=campaign.duration_s)
+
+    # Settle: stop the bus, drain in-flight consensus and recoveries so the
+    # verdict sees the converged end state, not a mid-decide snapshot.
+    cluster.master.stop()
+    cluster.kernel.run_until(cluster.kernel.now + campaign.settle_s)
+
+    report = cluster.check_invariants()
+    findings = report.to_dicts()
+    head_hashes = {
+        node_id: cluster.nodes[node_id].chain.head.block_hash.hex()
+        for node_id in cluster.ids
+        if not cluster.network.is_crashed(node_id)
+    }
+    converged = len(set(head_hashes.values())) <= 1
+    trace_blob = "".join(
+        encode_event(event) + "\n" for event in tracer.iter_events()
+    ).encode()
+    if trace_path is not None:
+        parent = os.path.dirname(trace_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(trace_path, "wb") as handle:
+            handle.write(trace_blob)
+
+    passed = bool(findings) if campaign.must_fail else (not findings and converged)
+    return RunRecord(
+        campaign=campaign.name,
+        seed=seed,
+        index=index,
+        run_seed=run_seed,
+        schedule_hash=schedule.schedule_hash(),
+        n_faults=len(schedule),
+        duration_s=campaign.duration_s,
+        faults_applied=injector.faults_applied,
+        faults_cleared=injector.faults_cleared,
+        findings=findings,
+        head_hashes=head_hashes,
+        converged=converged,
+        counters=cluster.aggregate_metrics().counter_values(),
+        trace_events=len(tracer),
+        trace_sha256=hashlib.sha256(trace_blob).hexdigest(),
+        passed=passed,
+    )
+
+
+def run_campaign(
+    name: str,
+    seed: int,
+    runs: int = 1,
+    trace_dir: str | None = None,
+) -> list[RunRecord]:
+    """Run ``runs`` independent draws of the campaign; never raises per-run."""
+    if runs < 1:
+        raise ConfigError(f"need at least one run (got {runs})")
+    campaign = get_campaign(name)
+    records = []
+    for index in range(runs):
+        trace_path = None
+        if trace_dir is not None:
+            trace_path = f"{trace_dir}/{name}-s{seed}-i{index}.trace.jsonl"
+        records.append(run_one(campaign, seed, index, trace_path=trace_path))
+    return records
+
+
+def replay_run(
+    name: str,
+    seed: int,
+    index: int,
+    trace_path: str | None = None,
+) -> RunRecord:
+    """Re-execute exactly one ``(campaign, seed, index)`` triple.
+
+    Byte-identity with the original run is the contract: compare
+    ``schedule_hash``, ``trace_sha256``, ``findings``, and
+    ``head_hashes`` — all four must match.
+    """
+    return run_one(get_campaign(name), seed, index, trace_path=trace_path)

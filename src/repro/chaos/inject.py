@@ -1,0 +1,182 @@
+"""Apply a :class:`~repro.chaos.spec.FaultSchedule` to a live cluster.
+
+The injector translates declarative fault specs into kernel-scheduled
+callbacks against a :class:`~repro.scenarios.cluster.SimulatedCluster`:
+link overrides on the simulated Ethernet, skewed MVB deliveries, fail-stop
+crashes with durable-store recovery, and windowed Byzantine behaviour.
+Every application and clearance is traced (``chaos.fault.applied`` /
+``chaos.fault.cleared``) so a campaign's trace is self-describing: the
+oracle's verdict and the faults it was asked to survive travel together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.chaos.spec import (
+    BusSkew,
+    ByzantineWindow,
+    CrashRecover,
+    FaultSchedule,
+    FaultSpec,
+    LinkDegrade,
+    LinkFlap,
+    LossWindow,
+)
+from repro.obs.trace import Tracer
+from repro.scenarios.cluster import SimulatedCluster
+from repro.sim.network import LinkSpec
+from repro.util.errors import ConfigError
+
+
+class ChaosInjector:
+    """Arms one schedule against one cluster; single-use."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        schedule: FaultSchedule,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.schedule = schedule.canonical()
+        self.tracer = tracer if tracer is not None else cluster.tracer
+        self.faults_applied = 0
+        self.faults_cleared = 0
+        self._installed = False
+
+    # -- arming ----------------------------------------------------------------
+
+    def install(self) -> None:
+        """Schedule every fault's apply/clear callbacks on the kernel.
+
+        Byzantine-window nodes are neutralized immediately (their built-in
+        rates belong to the windows, not the whole run).
+        """
+        if self._installed:
+            raise ConfigError("chaos schedule already installed")
+        self._installed = True
+        for fault in self.schedule:
+            if isinstance(fault, ByzantineWindow):
+                self._set_byzantine_rates(fault.node, 0.0, 0.0)
+        for fault in self.schedule:
+            self._arm(fault)
+
+    def _arm(self, fault: FaultSpec) -> None:
+        kernel = self.cluster.kernel
+        if isinstance(fault, LinkDegrade):
+            spec = LinkSpec(
+                latency_s=fault.latency_s,
+                jitter_s=fault.jitter_s,
+                bandwidth_bps=fault.bandwidth_bps,
+                loss_prob=fault.loss_prob,
+            )
+            kernel.schedule_at(
+                fault.start_s, lambda f=fault, s=spec: self._apply_link(f, s)
+            )
+            kernel.schedule_at(fault.end_s, lambda f=fault: self._clear_link(f))
+        elif isinstance(fault, LossWindow):
+            base = self.cluster.network.default_link
+            spec = replace(base, loss_prob=fault.loss_prob)
+            kernel.schedule_at(
+                fault.start_s, lambda f=fault, s=spec: self._apply_link(f, s)
+            )
+            kernel.schedule_at(fault.end_s, lambda f=fault: self._clear_link(f))
+        elif isinstance(fault, LinkFlap):
+            down = replace(self.cluster.network.default_link, loss_prob=1.0)
+            period = fault.duration_s + fault.up_s
+            for flap in range(fault.flaps):
+                t_down = fault.start_s + flap * period
+                kernel.schedule_at(
+                    t_down, lambda f=fault, s=down: self._apply_link(f, s)
+                )
+                kernel.schedule_at(
+                    t_down + fault.duration_s, lambda f=fault: self._clear_link(f)
+                )
+        elif isinstance(fault, BusSkew):
+            kernel.schedule_at(fault.start_s, lambda f=fault: self._apply_skew(f))
+            kernel.schedule_at(fault.end_s, lambda f=fault: self._clear_skew(f))
+        elif isinstance(fault, CrashRecover):
+            kernel.schedule_at(fault.start_s, lambda f=fault: self._apply_crash(f))
+            kernel.schedule_at(fault.end_s, lambda f=fault: self._clear_crash(f))
+        elif isinstance(fault, ByzantineWindow):
+            kernel.schedule_at(
+                fault.start_s, lambda f=fault: self._apply_byzantine(f)
+            )
+            kernel.schedule_at(
+                fault.end_s, lambda f=fault: self._clear_byzantine(f)
+            )
+        else:
+            raise ConfigError(f"no injector for fault {type(fault).__name__}")
+
+    # -- per-kind handlers ----------------------------------------------------
+
+    def _apply_link(self, fault, spec: LinkSpec) -> None:
+        self.cluster.network.set_link_override(fault.src, fault.dst, spec)
+        self._trace_applied(fault, self._link_subject(fault))
+
+    def _clear_link(self, fault) -> None:
+        self.cluster.network.clear_link_override(fault.src, fault.dst)
+        self._trace_cleared(fault, self._link_subject(fault))
+
+    def _apply_skew(self, fault: BusSkew) -> None:
+        self.cluster.master.set_skew(fault.node, fault.skew_s)
+        self._trace_applied(fault, fault.node)
+
+    def _clear_skew(self, fault: BusSkew) -> None:
+        self.cluster.master.set_skew(fault.node, 0.0)
+        self._trace_cleared(fault, fault.node)
+
+    def _apply_crash(self, fault: CrashRecover) -> None:
+        self.cluster.crash_node(fault.node)
+        self._trace_applied(fault, fault.node)
+
+    def _clear_crash(self, fault: CrashRecover) -> None:
+        self.cluster.recover_node(fault.node)
+        self._trace_cleared(fault, fault.node)
+
+    def _apply_byzantine(self, fault: ByzantineWindow) -> None:
+        self._set_byzantine_rates(
+            fault.node, fault.fabricate_per_cycle, fault.preprepare_delay_s
+        )
+        self._trace_applied(fault, fault.node)
+
+    def _clear_byzantine(self, fault: ByzantineWindow) -> None:
+        self._set_byzantine_rates(fault.node, 0.0, 0.0)
+        self._trace_cleared(fault, fault.node)
+
+    def _set_byzantine_rates(
+        self, node_id: str, fabricate: float, delay_s: float
+    ) -> None:
+        # Resolved at fire time: recovery may have swapped the node object.
+        node = self.cluster.nodes[node_id]
+        if hasattr(node, "_fabricate_per_cycle"):
+            node._fabricate_per_cycle = fabricate
+        replica = getattr(node, "replica", None)
+        if replica is not None and hasattr(replica, "_preprepare_delay_s"):
+            replica._preprepare_delay_s = delay_s
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _link_subject(self, fault) -> str:
+        # Trace events need a node; wildcards attribute to the first node.
+        for endpoint in (fault.dst, fault.src):
+            if endpoint != "*":
+                return endpoint
+        return self.cluster.ids[0]
+
+    def _trace_applied(self, fault: FaultSpec, subject: str) -> None:
+        self.faults_applied += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "chaos.fault.applied", self.cluster.kernel.now, subject,
+                fault=type(fault).__name__, spec=fault.describe(),
+            )
+
+    def _trace_cleared(self, fault: FaultSpec, subject: str) -> None:
+        self.faults_cleared += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "chaos.fault.cleared", self.cluster.kernel.now, subject,
+                fault=type(fault).__name__, spec=fault.describe(),
+            )

@@ -1,0 +1,257 @@
+"""The fault-injection DSL: frozen specs composed into a schedule.
+
+A :class:`FaultSpec` is a pure value — frozen, hashable, with a canonical
+:meth:`~FaultSpec.describe` string — so schedules can be hashed, compared,
+and replayed byte-identically.  The taxonomy mirrors §III-C's fault model:
+
+=====================  =====================================================
+spec                   injected failure
+=====================  =====================================================
+:class:`LinkDegrade`   gray failure: one link (wildcards allowed) runs with
+                       elevated latency/jitter/loss for a window
+:class:`LinkFlap`      link repeatedly goes fully down and comes back
+:class:`LossWindow`    probabilistic message loss across the fabric (or one
+                       pair) for a window, baseline characteristics kept
+:class:`BusSkew`       a device's MVB cycles are delivered late — a skewed
+                       local clock relative to the bus master
+:class:`CrashRecover`  fail-stop crash losing all in-memory state, followed
+                       by recovery from durable storage and StateSync rejoin
+:class:`ByzantineWindow`  a pre-built Byzantine node's behaviour is switched
+                       on only inside the window (fabrication rate and/or
+                       primary proposal delay)
+=====================  =====================================================
+
+Specs only *describe* faults; :class:`~repro.chaos.inject.ChaosInjector`
+applies them to a live :class:`~repro.scenarios.cluster.SimulatedCluster`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+from repro.faults.behaviors import ByzantineSpec
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base class: one timed fault starting at ``start_s``."""
+
+    start_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigError(f"fault cannot start before t=0 (got {self.start_s})")
+
+    @property
+    def end_s(self) -> float:
+        """When the fault clears; instantaneous faults return ``start_s``."""
+        return self.start_s
+
+    def describe(self) -> str:
+        """Canonical one-line form — the unit of schedule hashing."""
+        parts = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )
+        return f"{type(self).__name__}({parts})"
+
+
+@dataclass(frozen=True)
+class _WindowedFault(FaultSpec):
+    """Shared validation for faults active over ``[start_s, end_s)``."""
+
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration_s <= 0:
+            raise ConfigError(
+                f"fault window needs a positive duration (got {self.duration_s})"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class LinkDegrade(_WindowedFault):
+    """Gray failure: the ``src→dst`` link runs degraded for the window.
+
+    Either endpoint may be ``"*"`` (whole-node ingress/egress, or the
+    entire fabric).  The degraded characteristics are given absolutely —
+    the fault fully defines the :class:`~repro.sim.network.LinkSpec` in
+    force during the window; clearing restores the permanent topology.
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    latency_s: float = 5e-3
+    jitter_s: float = 1e-3
+    loss_prob: float = 0.0
+    bandwidth_bps: float = 100e6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.loss_prob <= 1.0:
+            raise ConfigError(f"loss_prob outside [0, 1]: {self.loss_prob}")
+        if self.latency_s < 0 or self.jitter_s < 0 or self.bandwidth_bps <= 0:
+            raise ConfigError(f"implausible degraded link: {self.describe()}")
+
+
+@dataclass(frozen=True)
+class LinkFlap(_WindowedFault):
+    """The link goes fully down and back up, ``flaps`` times.
+
+    Each flap is ``duration_s`` down followed by ``up_s`` up; the last up
+    phase restores the permanent topology.
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    flaps: int = 1
+    up_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.flaps < 1:
+            raise ConfigError(f"a flap fault needs flaps >= 1 (got {self.flaps})")
+        if self.up_s <= 0:
+            raise ConfigError(f"flap up time must be positive (got {self.up_s})")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.flaps * (self.duration_s + self.up_s)
+
+
+@dataclass(frozen=True)
+class LossWindow(_WindowedFault):
+    """Probabilistic message loss for a window, baseline link otherwise kept.
+
+    Unlike :class:`LinkDegrade` this only raises ``loss_prob``; latency,
+    jitter, and bandwidth stay at the fabric's default-link values.
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    loss_prob: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.loss_prob <= 1.0:
+            raise ConfigError(f"loss_prob outside (0, 1]: {self.loss_prob}")
+
+
+@dataclass(frozen=True)
+class BusSkew(_WindowedFault):
+    """One device's bus cycles arrive ``skew_s`` late for the window."""
+
+    node: str = "node-0"
+    skew_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.skew_s <= 0:
+            raise ConfigError(f"bus skew must be positive (got {self.skew_s})")
+
+
+@dataclass(frozen=True)
+class CrashRecover(_WindowedFault):
+    """Fail-stop crash at ``start_s``; recovery after ``duration_s`` down.
+
+    Crashing loses all in-memory state (timers, open requests, watermarks);
+    recovery rehydrates the chain from the node's durable store and rejoins
+    via StateSync once f+1 peer checkpoints vouch for the missed progress.
+    A negative-duration spec (never recover) is expressed by a duration
+    past the run horizon.
+    """
+
+    node: str = "node-0"
+
+
+@dataclass(frozen=True)
+class ByzantineWindow(_WindowedFault):
+    """Switch a node's Byzantine behaviour on only inside the window.
+
+    The node must be *built* Byzantine (its :class:`ByzantineSpec` in the
+    scenario config carries the same rates — :meth:`FaultSchedule.byzantine_specs`
+    derives that config), so the injector only modulates the live rate:
+    zero outside the window, the spec's rate inside.
+    """
+
+    node: str = "node-0"
+    fabricate_per_cycle: float = 0.0
+    preprepare_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.fabricate_per_cycle <= 1.0:
+            raise ConfigError(
+                f"fabricate_per_cycle outside [0, 1]: {self.fabricate_per_cycle}"
+            )
+        if self.preprepare_delay_s < 0:
+            raise ConfigError(
+                f"preprepare delay cannot be negative: {self.preprepare_delay_s}"
+            )
+        if self.fabricate_per_cycle == 0 and self.preprepare_delay_s == 0:
+            raise ConfigError("a ByzantineWindow must enable at least one behaviour")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, hashable composition of fault specs."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise ConfigError(f"not a FaultSpec: {fault!r}")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def canonical(self) -> "FaultSchedule":
+        """Deterministic order: by start time, then by description."""
+        ordered = sorted(self.faults, key=lambda f: (f.start_s, f.describe()))
+        return FaultSchedule(faults=tuple(ordered))
+
+    @property
+    def horizon_s(self) -> float:
+        """Virtual time by which every fault has cleared."""
+        return max((fault.end_s for fault in self.faults), default=0.0)
+
+    def describe(self) -> str:
+        return "\n".join(fault.describe() for fault in self.canonical())
+
+    def schedule_hash(self) -> str:
+        """SHA-256 over the canonical description — the replay fingerprint."""
+        return hashlib.sha256(self.describe().encode()).hexdigest()
+
+    def byzantine_specs(self) -> dict[str, ByzantineSpec]:
+        """Scenario ``byzantine=`` config needed to host the windows.
+
+        A :class:`ByzantineWindow` requires the node to be built with the
+        fabricating/delaying machinery; this folds every window into one
+        per-node :class:`ByzantineSpec` carrying the maximum rates (the
+        injector zeroes them outside the windows).
+        """
+        specs: dict[str, ByzantineSpec] = {}
+        for fault in self.faults:
+            if not isinstance(fault, ByzantineWindow):
+                continue
+            current = specs.get(fault.node, ByzantineSpec())
+            specs[fault.node] = ByzantineSpec(
+                fabricate_per_cycle=max(
+                    current.fabricate_per_cycle, fault.fabricate_per_cycle
+                ),
+                preprepare_delay_s=max(
+                    current.preprepare_delay_s, fault.preprepare_delay_s
+                ),
+            )
+        return specs

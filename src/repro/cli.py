@@ -77,13 +77,15 @@ def _add_bench_parser(subparsers) -> None:
         "bench", help="time the figure sweeps and write a BENCH_<date>.json artifact"
     )
     parser.add_argument("--suite",
-                        choices=("cycles", "payloads", "obs", "lint", "all"),
+                        choices=("cycles", "payloads", "obs", "lint", "chaos", "all"),
                         default="all", help="which figure sweeps to time "
                                             "(obs: observability hot-path "
                                             "micro-costs; lint: zuglint "
                                             "per-stage wall times, shared vs "
-                                            "standalone call graph — not part "
-                                            "of 'all'; neither runs a sweep)")
+                                            "standalone call graph; chaos: "
+                                            "campaign wall times and schedule-"
+                                            "application overhead — neither "
+                                            "lint nor chaos is part of 'all')")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes per sweep")
     parser.add_argument("--duration", type=float, default=None,
@@ -97,6 +99,28 @@ def _add_bench_parser(subparsers) -> None:
                              "outputs are byte-identical)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="artifact path (default: ./BENCH_<date>.json)")
+
+
+def _add_chaos_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "chaos", help="run a seeded fault-injection campaign gated on the "
+                      "invariant oracle"
+    )
+    parser.add_argument("--campaign", default=None, metavar="NAME",
+                        help="campaign name (see --list)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--runs", type=int, default=1, metavar="K",
+                        help="independent schedule draws (indices 0..K-1)")
+    parser.add_argument("--replay", type=int, default=None, metavar="INDEX",
+                        help="re-execute exactly one (campaign, seed, INDEX) "
+                             "triple; the trace bytes, findings, and head "
+                             "hashes must match the original run")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write one JSONL trace per run into DIR")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the full run records as JSON")
+    parser.add_argument("--list", action="store_true",
+                        help="list known campaigns and exit")
 
 
 def _add_export_parser(subparsers) -> None:
@@ -283,6 +307,42 @@ def _cmd_bench(args, out) -> int:
               f"causal stamp {costs['causal_stamp_ns']:.0f} ns/emission, "
               f"recording emit {costs['recording_emit_ns']:.0f} ns/event",
               file=out)
+    if args.suite == "chaos":
+        from dataclasses import replace as _replace
+        from random import Random
+
+        from repro.chaos import CAMPAIGNS, ChaosInjector, derive_run_seed, run_one
+        from repro.scenarios.cluster import SimulatedCluster
+
+        install_times = []
+        for name, campaign in sorted(CAMPAIGNS.items()):
+            elapsed, record = recorder.time_call(
+                lambda campaign=campaign: run_one(campaign, args.seed, 0))
+            entry = recorder.record_suite(
+                f"chaos:{name}", [elapsed], units=record.n_faults, jobs=1,
+                sim_seconds=campaign.duration_s + campaign.settle_s,
+                extra={"passed": record.passed,
+                       "findings": len(record.findings),
+                       "faults_applied": record.faults_applied,
+                       "trace_events": record.trace_events})
+            rows.append([f"chaos:{name}", f"{record.n_faults}",
+                         f"{elapsed:.2f} s", f"{entry['sim_speedup']:.1f}x"])
+            # Schedule-application overhead in isolation: DSL expansion plus
+            # timer arming against a fresh cluster, without the run itself.
+            run_seed = derive_run_seed(name, args.seed, 0)
+            schedule = campaign.generate(Random(run_seed)).canonical()
+            cluster = SimulatedCluster(_replace(campaign.config, seed=run_seed))
+            install_s, _ = recorder.time_call(
+                lambda cluster=cluster, schedule=schedule:
+                    ChaosInjector(cluster, schedule).install())
+            install_times.append(install_s)
+        recorder.record_suite(
+            "chaos:schedule_install", install_times,
+            units=len(install_times), jobs=1)
+        print("chaos install : "
+              f"{sum(install_times) / len(install_times) * 1e3:.2f} ms mean "
+              f"schedule application ({len(install_times)} campaigns)",
+              file=out)
     for spec in specs:
         elapsed, sweep = recorder.time_call(
             lambda spec=spec: run_sweep(spec, jobs=args.jobs))
@@ -313,6 +373,52 @@ def _cmd_bench(args, out) -> int:
     recorder.write(path, date)
     print(f"artifact      : {path}", file=out)
     return 0
+
+
+def _cmd_chaos(args, out) -> int:
+    import json
+
+    from repro.chaos import CAMPAIGNS, replay_run, run_campaign
+
+    if args.list:
+        for name, campaign in sorted(CAMPAIGNS.items()):
+            gate = "must-fail" if campaign.must_fail else "must-pass"
+            print(f"{name:22s} {campaign.duration_s:g} s  {gate:9s} "
+                  f"{campaign.description}", file=out)
+        return 0
+    if not args.campaign:
+        print("repro chaos: --campaign is required (or --list)", file=sys.stderr)
+        return 2
+    if args.replay is not None:
+        trace_path = None
+        if args.trace_dir is not None:
+            trace_path = (f"{args.trace_dir}/{args.campaign}-s{args.seed}"
+                          f"-i{args.replay}.trace.jsonl")
+        records = [replay_run(args.campaign, args.seed, args.replay,
+                              trace_path=trace_path)]
+    else:
+        records = run_campaign(args.campaign, seed=args.seed, runs=args.runs,
+                               trace_dir=args.trace_dir)
+    for record in records:
+        verdict = "PASS" if record.passed else "FAIL"
+        print(f"{record.campaign} seed={record.seed} index={record.index}: "
+              f"{verdict}  faults={record.n_faults} "
+              f"findings={len(record.findings)} "
+              f"converged={record.converged}", file=out)
+        print(f"  schedule {record.schedule_hash[:16]}…  "
+              f"trace {record.trace_sha256[:16]}… "
+              f"({record.trace_events} events)", file=out)
+        if not record.passed:
+            for finding in record.findings[:5]:
+                print(f"  {finding['code']}: {finding['message']}", file=out)
+            print(f"  replay: python -m repro chaos --campaign {record.campaign} "
+                  f"--seed {record.seed} --replay {record.index}", file=out)
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            json.dump({"records": [r.to_dict() for r in records]}, handle,
+                      indent=2, sort_keys=True)
+        print(f"records       : {args.out}", file=out)
+    return 0 if all(record.passed for record in records) else 1
 
 
 def _cmd_run_tcp(args, out) -> int:
@@ -436,6 +542,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(subparsers)
     _add_bench_parser(subparsers)
+    _add_chaos_parser(subparsers)
     _add_export_parser(subparsers)
     _add_reliability_parser(subparsers)
     _add_requirements_parser(subparsers)
@@ -443,6 +550,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     handlers = {
         "run": _cmd_run,
         "bench": _cmd_bench,
+        "chaos": _cmd_chaos,
         "export": _cmd_export,
         "reliability": _cmd_reliability,
         "requirements": _cmd_requirements,

@@ -34,7 +34,7 @@ from repro.core.ratelimit import OpenRequestLimiter
 from repro.bft.env import Env
 from repro.crypto.keys import KeyPair, KeyStore
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.wire.messages import Request, SignedRequest
+from repro.wire.messages import Request, SignedRequest, is_null_request
 
 
 @dataclass(frozen=True)
@@ -80,6 +80,8 @@ class LayerStats:
     duplicate_decides: int = 0
     suspicions: int = 0
     logged: int = 0
+    nulls_decided: int = 0
+    synced_recorded: int = 0
 
 
 class ZugChainLayer:
@@ -272,6 +274,11 @@ class ZugChainLayer:
     # -- ln. 12–20: decide -----------------------------------------------------------
 
     def on_decide(self, signed: SignedRequest, seq: int) -> None:
+        if is_null_request(signed.request):
+            # View-change gap filler: consumes the sequence number but must
+            # never reach the blockchain (it carries no bus data).
+            self.stats.nulls_decided += 1
+            return
         digest = signed.digest
         entry = self._queue.pop(digest, None)  # ln. 13–14
         if entry is not None:
@@ -289,6 +296,28 @@ class ZugChainLayer:
         self._dedup.record(digest, seq)
         self.stats.logged += 1
         self._on_log(signed, seq)  # ln. 20: log with the origin node's id
+
+    def on_synced(self, signed: SignedRequest, seq: int) -> None:
+        """Close out a request adopted via state transfer.
+
+        The request sits in a checkpoint-verified block, so for filtering
+        purposes it IS logged: without recording its digest here, a later
+        re-proposal of the same content (a new primary re-driving what it
+        thought was still open) would pass the duplicate check on this node
+        while every live peer skips it — and the next block this node cuts
+        would diverge from the group's.
+        """
+        digest = signed.digest
+        entry = self._queue.pop(digest, None)
+        if entry is not None:
+            if entry.soft_timer is not None:
+                entry.soft_timer.cancel()
+            if entry.hard_timer is not None:
+                entry.hard_timer.cancel()
+        self._limiter.release_digest(digest)
+        if not self._dedup.in_log(digest):
+            self._dedup.record(digest, seq)
+            self.stats.synced_recorded += 1
 
     # -- §III-C optimization: preprepare as early decide indication ---------------------
 

@@ -67,6 +67,7 @@ class ZugChainNode:
             keystore=keystore,
             on_decide=self._decided,
             on_new_primary=self._new_primary,
+            on_stable_checkpoint=self._stable_checkpoint,
             on_preprepare_accepted=self._preprepare_accepted,
             tracer=self.tracer,
         )
@@ -99,6 +100,8 @@ class ZugChainNode:
             keystore=keystore,
             chain=self.chain,
             replica=self.replica,
+            on_fast_forward=self._reset_block_assembly,
+            tracer=self.tracer,
         )
         self.requests_logged = 0
 
@@ -156,8 +159,7 @@ class ZugChainNode:
         elif isinstance(message, StateRequest):
             self.statesync.handle_request(src, message)
         elif isinstance(message, StateReply):
-            if self.statesync.handle_reply(src, message):
-                self.builder._pending.clear()  # checkpoint boundary == block boundary
+            self.statesync.handle_reply(src, message)
         elif isinstance(message, self.replica.MESSAGE_TYPES):
             if isinstance(message, Checkpoint):
                 # Lag detection: peers checkpointing far beyond our state.
@@ -190,6 +192,24 @@ class ZugChainNode:
 
     def _new_primary(self, primary_id: str) -> None:
         self.layer.on_new_primary(primary_id)
+
+    def _reset_block_assembly(self, adopted_blocks) -> None:
+        # Adopted checkpoints sit on block boundaries: requests the builder
+        # accumulated before the transfer are already inside synced blocks.
+        self.builder._pending.clear()
+        # The adopted requests count as logged for duplicate filtering —
+        # otherwise this node would log a later re-proposal that every live
+        # peer skips, and the next block it cuts would diverge.
+        for block in adopted_blocks:
+            for signed in block.requests:
+                self.layer.on_synced(signed, block.header.last_sn)
+
+    def _stable_checkpoint(self, certificate) -> None:
+        # A checkpoint stabilized by peer votes while our execution still
+        # has a gap below it: GC just deleted the missing instances, so
+        # only a state transfer can resynchronize us.
+        if certificate.seq >= self.replica._next_exec:
+            self.statesync.sync_from_certificate(certificate)
 
     def _block_built(self, block: Block) -> None:
         if self.block_store is not None:

@@ -77,7 +77,14 @@ class StateRequest:
 
 @dataclass(frozen=True)
 class StateReply:
-    """Checkpointed state: certificate, chain segment, prune justification."""
+    """Checkpointed state: certificate, chain segment, prune justification.
+
+    ``view`` carries the responder's current view so a recovering replica
+    can catch up past view changes it slept through (a node stuck in an old
+    view would suspect the wrong primary forever).  Adopting a peer's view
+    only affects liveness, never safety — a lying responder can at worst
+    delay the requester's participation until the next genuine view change.
+    """
 
     replica_id: str
     checkpoint: CheckpointCertificate
@@ -85,10 +92,12 @@ class StateReply:
     prune_base_height: int
     prune_base_hash: bytes
     prune_signatures: tuple[tuple[str, bytes], ...]  # (dc id, signature)
+    view: int = 0
     signature: bytes = _UNSIGNED
 
     def signing_payload(self) -> bytes:
         return sha256(self.replica_id.encode(), self.checkpoint.encode(),
+                      self.view.to_bytes(8, "big"),
                       *[block.block_hash for block in self.blocks],
                       domain=_DOMAIN_STATE_REP)
 
@@ -116,6 +125,7 @@ class StateReply:
         writer.put_bytes(self.prune_base_hash)
         writer.put_list(list(self.prune_signatures),
                         lambda w, p: (w.put_str(p[0]), w.put_fixed(p[1], SIGNATURE_SIZE)))
+        writer.put_uint(self.view)
         writer.put_fixed(self.signature, SIGNATURE_SIZE)
         return writer.getvalue()
 
@@ -130,11 +140,13 @@ class StateReply:
         prune_signatures = reader.get_list(
             lambda r: (r.get_str(), r.get_fixed(SIGNATURE_SIZE))
         )
+        view = reader.get_uint()
         signature = reader.get_fixed(SIGNATURE_SIZE)
         reader.expect_end()
         return cls(replica_id=replica_id, checkpoint=checkpoint, blocks=tuple(blocks),
                    prune_base_height=prune_base_height, prune_base_hash=prune_base_hash,
-                   prune_signatures=tuple(prune_signatures), signature=signature)
+                   prune_signatures=tuple(prune_signatures), view=view,
+                   signature=signature)
 
     def encoded_size(self) -> int:
         return len(self.encode())
@@ -152,6 +164,10 @@ class StateSync:
         chain: Blockchain,
         replica,
         lag_blocks: int = 3,
+        sync_timeout_s: float = 0.5,
+        max_sync_retries: int = 4,
+        on_fast_forward=None,
+        tracer=None,
     ) -> None:
         self.env = env
         self.bft_config = bft_config
@@ -160,11 +176,21 @@ class StateSync:
         self.chain = chain
         self.replica = replica
         self.lag_blocks = lag_blocks
+        self.sync_timeout_s = sync_timeout_s
+        self.max_sync_retries = max_sync_retries
+        self._on_fast_forward = on_fast_forward or (lambda blocks: None)
+        from repro.obs.trace import NULL_TRACER  # avoid import cycle
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Checkpoint seqs observed per peer (f+1 rule against liars).
         self._observed_ahead: dict[str, int] = {}
         self._sync_in_flight = False
+        self._sync_timer = None
+        self._vouchers: list[str] = []
+        self._attempt = 0
         self.syncs_completed = 0
         self.syncs_rejected = 0
+        self.syncs_retried = 0
 
     # -- lag detection -----------------------------------------------------------
 
@@ -188,11 +214,63 @@ class StateSync:
                     if height > self.chain.height + self.lag_blocks]
         if len(vouching) >= self.bft_config.f + 1 and not self._sync_in_flight:
             self._sync_in_flight = True
-            target = sorted(vouching)[0]
-            request = StateRequest(
-                requester_id=self.env.node_id, have_height=self.chain.height,
-            ).signed(self.keypair)
-            self.env.send(target, request)
+            self._vouchers = sorted(vouching)
+            self._attempt = 0
+            self._send_request()
+
+    def sync_from_certificate(self, certificate: CheckpointCertificate) -> None:
+        """Force a transfer when the stable watermark outran execution.
+
+        A replica can stabilize a checkpoint it never executed up to: 2f+1
+        *peers* certified seq N while this replica still has an execution
+        gap below N.  Garbage collection at N then deletes the very
+        instances it was missing, so no in-protocol path (commits, decide
+        proofs) can ever close the gap — state transfer is the only way
+        forward.  The certificate itself carries the 2f+1 signatures, so
+        the f+1-voucher rule is already satisfied; its signers minus self
+        become the transfer targets.
+        """
+        if self._sync_in_flight:
+            return
+        if certificate.block_height <= self.chain.height:
+            return
+        vouchers = sorted(certificate.signer_ids() - {self.env.node_id})
+        if not vouchers:
+            return
+        self._sync_in_flight = True
+        self._vouchers = vouchers
+        self._attempt = 0
+        self._send_request()
+
+    def _send_request(self) -> None:
+        """Send the current attempt's StateRequest and arm its retry timer.
+
+        The target rotates round-robin over the vouching peers (attempt 0
+        goes to the lexicographically first, as before) and the timeout
+        doubles per attempt, so a crashed or partitioned responder cannot
+        wedge the sync — the original code latched ``_sync_in_flight`` and
+        waited forever on a single peer.
+        """
+        target = self._vouchers[self._attempt % len(self._vouchers)]
+        request = StateRequest(
+            requester_id=self.env.node_id, have_height=self.chain.height,
+        ).signed(self.keypair)
+        self.env.send(target, request)
+        timeout = self.sync_timeout_s * (2 ** self._attempt)
+        self._sync_timer = self.env.set_timer(timeout, self._on_sync_timeout)
+
+    def _on_sync_timeout(self) -> None:
+        if not self._sync_in_flight:
+            return
+        if self._attempt >= self.max_sync_retries:
+            # Bounded per trigger: release the latch so the next observed
+            # checkpoint (fresh f+1 evidence) may start a new sync cycle.
+            self._sync_in_flight = False
+            self._sync_timer = None
+            return
+        self._attempt += 1
+        self.syncs_retried += 1
+        self._send_request()
 
     # -- serving -------------------------------------------------------------------
 
@@ -217,6 +295,7 @@ class StateSync:
             prune_base_height=prune.base_height if prune else 0,
             prune_base_hash=prune.base_block_hash if prune else b"",
             prune_signatures=tuple(prune.delete_signatures.items()) if prune else (),
+            view=self.replica.view,
         ).signed(self.keypair)
         self.env.send(request.requester_id, reply)
 
@@ -236,6 +315,9 @@ class StateSync:
             self.syncs_rejected += 1
             return False
         self._sync_in_flight = False
+        if self._sync_timer is not None:
+            self._sync_timer.cancel()
+            self._sync_timer = None
         if reply.checkpoint.block_height <= self.chain.height:
             return False  # stale: the chain already covers this checkpoint
         try:
@@ -243,10 +325,14 @@ class StateSync:
         except ChainError:
             self.syncs_rejected += 1
             return False
+        # View catch-up rides on the (signed) reply: monotonic adoption only,
+        # enforced by the replica itself.
+        self.replica.adopt_view(reply.view)
         self.syncs_completed += 1
         return True
 
     def _apply(self, reply: StateReply) -> None:
+        had_height = self.chain.height
         blocks = sorted(reply.blocks, key=lambda b: b.height)
         if blocks and blocks[0].height != self.chain.height + 1:
             # Non-contiguous with our chain — either the peer pruned past our
@@ -271,4 +357,26 @@ class StateSync:
             head = self.chain.block_at(reply.checkpoint.block_height)
             if head.block_hash != reply.checkpoint.block_hash:
                 raise ChainError("synced chain head does not match the checkpoint")
+        # The adopted checkpoint sits on a block boundary (its state digest
+        # covers an empty builder), so the application must reset its block
+        # assembly — and record the adopted requests as logged for duplicate
+        # filtering — *before* fast_forward replays queued post-checkpoint
+        # decides into it.  Stale pre-sync builder leftovers would cut a
+        # divergent block that no later append can ever reconcile.
+        adopted = tuple(b for b in blocks if b.height > had_height)
+        self._on_fast_forward(adopted)
         self.replica.fast_forward(reply.checkpoint)
+        if self.tracer.enabled:
+            # Requests adopted via state transfer were never locally ordered,
+            # so they get their own taxonomy event rather than ``req.logged``
+            # (the oracle's omission check quantifies over correct nodes
+            # only; this keeps recovered nodes auditable without faking an
+            # ordering they did not perform).
+            now = self.env.now()
+            for block in blocks:
+                if block.height <= had_height:
+                    continue
+                for signed in block.requests:
+                    self.tracer.emit("req.synced", now, self.env.node_id,
+                                     digest=signed.digest.hex(),
+                                     height=block.height)

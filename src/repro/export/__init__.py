@@ -17,6 +17,7 @@ from repro.export.messages import (
     DeleteRequest,
     ReadReply,
     ReadRequest,
+    SessionResume,
 )
 from repro.export.replica_side import ExportHandler, ExportConfig
 from repro.export.datacenter import DataCenter, DataCenterConfig, ExportRound
@@ -30,6 +31,7 @@ __all__ = [
     "DeleteAck",
     "BlockFetch",
     "BlockFetchReply",
+    "SessionResume",
     "ExportHandler",
     "ExportConfig",
     "DataCenter",

@@ -29,6 +29,7 @@ from repro.export.messages import (
     DeleteRequest,
     ReadReply,
     ReadRequest,
+    SessionResume,
 )
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.util.errors import ChainError, ProtocolError
@@ -42,6 +43,11 @@ class DataCenterConfig:
     replica_ids: tuple[str, ...]
     peer_dc_ids: tuple[str, ...] = ()
     ack_quorum: int = 1              # replica acks to consider the delete done
+    #: Per-attempt round timeout; doubles on every retry.  Generous by
+    #: default so the Table II full-duration exports never trip it — chaos
+    #: scenarios override it down to exercise the retry path.
+    round_timeout_s: float = 600.0
+    max_round_retries: int = 3       # rotations before the round is abandoned
 
 
 @dataclass
@@ -57,6 +63,7 @@ class ExportRound:
     checkpoint_seq: int = 0
     verify_cpu_s: float = 0.0
     fetch_rounds: int = 0
+    retries: int = 0
 
     @property
     def read_s(self) -> float:
@@ -118,7 +125,12 @@ class DataCenter:
         self._pending_blocks: dict[int, Block] = {}
         self.rounds: list[ExportRound] = []
         self.rounds_aborted = 0
+        self.rounds_retried = 0
+        self.sessions_resumed = 0
         self.sync_blocks_rejected = 0
+        self._round_timer = None
+        #: Highest SessionResume incarnation seen per replica (stale-drop).
+        self._incarnations: dict[str, int] = {}
 
     # -- round control -------------------------------------------------------------
 
@@ -142,7 +154,90 @@ class DataCenter:
             dc_id=self.config.dc_id, last_sn=self.last_exported_sn, full_from=chosen
         ).signed(self.keypair)
         self.env.send_many(self.config.replica_ids, request)
+        self._arm_round_timer()
         return self._round
+
+    # -- retry / timeout machinery ----------------------------------------------------
+
+    def _arm_round_timer(self) -> None:
+        if self._round_timer is not None:
+            self._round_timer.cancel()
+        timeout = self.config.round_timeout_s * (2 ** self._round.retries)
+        self._round_timer = self.env.set_timer(timeout, self._on_round_timeout)
+
+    def _cancel_round_timer(self) -> None:
+        if self._round_timer is not None:
+            self._round_timer.cancel()
+            self._round_timer = None
+
+    def _on_round_timeout(self) -> None:
+        round_ = self._round
+        if round_ is None or round_.complete:
+            return
+        if round_.retries >= self.config.max_round_retries:
+            self._abort_round(
+                f"round timed out after {round_.retries} retries"
+            )
+            return
+        self._restart_read("timeout", rotate=True)
+
+    def _restart_read(self, reason: str, rotate: bool) -> None:
+        """Re-issue the read phase of the in-flight round.
+
+        ``rotate`` picks a different designated replica (timeouts assume
+        the previous one is gone); a session-resume retry keeps the same
+        one — it just came back.  Collected replies are discarded: they
+        were addressed to the previous attempt's designated set.
+        """
+        round_ = self._round
+        round_.retries += 1
+        self.rounds_retried += 1
+        if rotate:
+            candidates = [
+                r for r in sorted(self.config.replica_ids) if r != round_.full_from
+            ]
+            if candidates:
+                round_.full_from = candidates[(round_.retries - 1) % len(candidates)]
+        if self.tracer.enabled:
+            self.tracer.emit("export.round.retried", self.env.now(),
+                             self.config.dc_id, reason=reason,
+                             retries=round_.retries, full_from=round_.full_from)
+        round_.read_done_at = None
+        round_.verify_done_at = None
+        self._replies = {}
+        self._pending_blocks = {}
+        request = ReadRequest(
+            dc_id=self.config.dc_id, last_sn=self.last_exported_sn,
+            full_from=round_.full_from,
+        ).signed(self.keypair)
+        self.env.send_many(self.config.replica_ids, request)
+        self._arm_round_timer()
+
+    def _on_session_resume(self, resume: SessionResume) -> None:
+        """A replica announces it recovered; unwedge any round stuck on it.
+
+        Verification runs before any state is touched (a forged resume must
+        not bump incarnation tracking or trigger a retry), and stale
+        incarnations are dropped so reordered announcements cannot make a
+        data center retry against a replica that crashed again.
+        """
+        if resume.replica_id not in self.config.replica_ids:
+            return
+        if not resume.verify(self.keystore):
+            return
+        if resume.incarnation <= self._incarnations.get(resume.replica_id, 0):
+            return
+        self._incarnations[resume.replica_id] = resume.incarnation
+        self.sessions_resumed += 1
+        round_ = self._round
+        if (
+            round_ is not None
+            and not round_.complete
+            and round_.read_done_at is None
+            and round_.full_from == resume.replica_id
+            and round_.retries < self.config.max_round_retries
+        ):
+            self._restart_read("session-resume", rotate=False)
 
     # -- dispatch ----------------------------------------------------------------------
 
@@ -155,6 +250,8 @@ class DataCenter:
             self._on_delete_ack(message)
         elif isinstance(message, DcSync):
             self._on_sync(message)
+        elif isinstance(message, SessionResume):
+            self._on_session_resume(message)
 
     # -- step ② / ③: collect replies ------------------------------------------------------
 
@@ -212,6 +309,7 @@ class DataCenter:
             # Nothing new to export.
             round_.verify_done_at = self.env.now()
             round_.delete_done_at = self.env.now()
+            self._cancel_round_timer()
             self.rounds.append(round_)
             return
         round_.checkpoint_seq = checkpoint.seq
@@ -264,6 +362,7 @@ class DataCenter:
         if self.tracer.enabled:
             self.tracer.emit("export.round.aborted", self.env.now(),
                              self.config.dc_id, reason=reason)
+        self._cancel_round_timer()
         self._round = None
         self._replies = {}
         self._pending_blocks = {}
@@ -355,6 +454,7 @@ class DataCenter:
                              replica=ack.replica_id, block_height=ack.block_height)
         if len(self._acks) >= self.config.ack_quorum:
             round_.delete_done_at = self.env.now()
+            self._cancel_round_timer()
             if self.tracer.enabled:
                 self.tracer.emit("export.delete_done", self.env.now(),
                                  self.config.dc_id,

@@ -23,6 +23,7 @@ _DOMAIN_DELETE = b"export/delete"
 _DOMAIN_DELETE_ACK = b"export/delete-ack"
 _DOMAIN_FETCH = b"export/fetch"
 _DOMAIN_FETCH_REPLY = b"export/fetch-reply"
+_DOMAIN_SESSION_RESUME = b"export/session-resume"
 
 
 @dataclass(frozen=True)
@@ -241,6 +242,60 @@ class DeleteAck:
         reader.expect_end()
         return cls(replica_id=replica_id, block_height=block_height,
                    block_hash=block_hash, signature=signature)
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class SessionResume:
+    """A recovered replica announces it can serve export traffic again.
+
+    Sent to every known data center after crash recovery: carries the
+    replica's chain head so the DC can tell whether the replica is a
+    useful ``full_from`` candidate yet, and lets a DC wedged mid-round on
+    the crashed replica re-issue its pending read immediately instead of
+    waiting out the retry backoff.
+    """
+
+    replica_id: str
+    chain_height: int
+    head_hash: bytes
+    incarnation: int
+    signature: bytes = _UNSIGNED
+
+    def signing_payload(self) -> bytes:
+        return sha256(self.replica_id.encode(), self.chain_height.to_bytes(8, "big"),
+                      self.head_hash, self.incarnation.to_bytes(8, "big"),
+                      domain=_DOMAIN_SESSION_RESUME)
+
+    def signed(self, keypair: KeyPair) -> "SessionResume":
+        return replace(self, signature=keypair.sign(self.signing_payload()))
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.replica_id, self.signing_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.put_str(self.replica_id)
+        writer.put_uint(self.chain_height)
+        writer.put_fixed(self.head_hash, 32)
+        writer.put_uint(self.incarnation)
+        writer.put_fixed(self.signature, SIGNATURE_SIZE)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SessionResume":
+        reader = Reader(data)
+        replica_id = reader.get_str()
+        chain_height = reader.get_uint()
+        head_hash = reader.get_fixed(32)
+        incarnation = reader.get_uint()
+        signature = reader.get_fixed(SIGNATURE_SIZE)
+        reader.expect_end()
+        return cls(replica_id=replica_id, chain_height=chain_height,
+                   head_hash=head_hash, incarnation=incarnation,
+                   signature=signature)
 
     def encoded_size(self) -> int:
         return len(self.encode())

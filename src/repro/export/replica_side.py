@@ -29,6 +29,7 @@ from repro.export.messages import (
     DeleteRequest,
     ReadReply,
     ReadRequest,
+    SessionResume,
 )
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.util.errors import ChainError
@@ -51,6 +52,7 @@ class ExportStats:
     deletes_held: int = 0
     deletes_rejected: int = 0
     fetches_served: int = 0
+    sessions_resumed: int = 0
 
 
 class ExportHandler:
@@ -79,6 +81,9 @@ class ExportHandler:
         self._discard_checkpoints_below = discard_checkpoints_below
         # (height, hash) -> {dc_id: DeleteRequest}
         self._pending_deletes: dict[tuple[int, bytes], dict[str, DeleteRequest]] = {}
+        #: Bumped by :meth:`resume_sessions` after each crash recovery so
+        #: data centers can discard announcements from older incarnations.
+        self.incarnation = 0
         self.stats = ExportStats()
 
     # -- dispatch ---------------------------------------------------------------
@@ -175,6 +180,34 @@ class ExportHandler:
         for dc_id in votes:
             self.env.send(dc_id, ack)
         del self._pending_deletes[key]
+
+    # -- crash recovery (session resume) ------------------------------------------------
+
+    def resume_sessions(self, dc_ids: list[str], incarnation: int | None = None) -> None:
+        """Announce recovery to every data center (signed SessionResume).
+
+        Called after the hosting replica rebuilt its state from durable
+        storage.  A data center whose export round wedged on this replica
+        uses the announcement to retry immediately rather than waiting out
+        its backoff timer.
+        """
+        self.incarnation = (
+            incarnation if incarnation is not None else self.incarnation + 1
+        )
+        head = self.chain.head
+        announce = SessionResume(
+            replica_id=self.env.node_id,
+            chain_height=self.chain.height,
+            head_hash=head.block_hash,
+            incarnation=self.incarnation,
+        ).signed(self.keypair)
+        self.stats.sessions_resumed += 1
+        if self.tracer.enabled:
+            self.tracer.emit("export.session.resumed", self.env.now(),
+                             self.env.node_id, incarnation=self.incarnation,
+                             height=self.chain.height)
+        for dc_id in sorted(dc_ids):
+            self.env.send(dc_id, announce)
 
     # -- fetch (step ④, second round) -----------------------------------------------------
 

@@ -7,13 +7,14 @@ export rounds, reporting per-phase latencies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.bft.checkpoint import CheckpointCertificate
 from repro.bft.config import BftConfig
 from repro.export.datacenter import DataCenter, DataCenterConfig, ExportRound
 from repro.export.replica_side import ExportConfig, ExportHandler
 from repro.export.seed import clone_chain, seed_chain_and_checkpoints
+from repro.obs.metrics import ClusterMetrics
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.env import SimEnv
 from repro.sim.kernel import Kernel
@@ -135,6 +136,38 @@ class ExportScenario:
         def deliver(src, message, size) -> None:
             dc.handle_message(src, message)
         return deliver
+
+    # -- fault control -------------------------------------------------------------
+
+    def crash_replica(self, replica_id: str) -> None:
+        """Fail-stop a replica's export endpoint (network-severed)."""
+        self.network.crash(replica_id)
+
+    def recover_replica(self, replica_id: str) -> None:
+        """Bring a replica back and announce the resumed export session."""
+        self.network.recover(replica_id)
+        self.handlers[replica_id].resume_sessions(self.dc_ids)
+
+    # -- measurement ---------------------------------------------------------------
+
+    def collect_metrics(self) -> ClusterMetrics:
+        """Per-endpoint export counters (replica ExportStats + DC rounds)."""
+        cluster = ClusterMetrics()
+        for replica_id in self.replica_ids:
+            registry = cluster.node(replica_id)
+            registry.inc_from(asdict(self.handlers[replica_id].stats),
+                              prefix="export.")
+        for dc_id in self.dc_ids:
+            dc = self.datacenters[dc_id]
+            registry = cluster.node(dc_id)
+            registry.counter("export.rounds_completed").inc(len(dc.rounds))
+            registry.counter("export.rounds_aborted").inc(dc.rounds_aborted)
+            registry.counter("export.rounds_retried").inc(dc.rounds_retried)
+            registry.counter("export.sessions_resumed").inc(dc.sessions_resumed)
+            registry.counter("export.sync_blocks_rejected").inc(
+                dc.sync_blocks_rejected
+            )
+        return cluster
 
     # -- driving -------------------------------------------------------------------
 

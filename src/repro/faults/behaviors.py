@@ -43,6 +43,17 @@ class ByzantineSpec:
             or self.propose_duplicates
         )
 
+    @property
+    def is_faulty(self) -> bool:
+        """Byzantine *or* crash-faulty — the set the oracle must excuse.
+
+        ``is_byzantine`` deliberately excludes fail-stop crashes (a crashed
+        node sends nothing forgeable), but for ``faulty_node_ids()`` and the
+        oracle's ``--faulty`` accounting a crash-only node is just as exempt
+        from liveness expectations, so both kinds funnel through here.
+        """
+        return self.is_byzantine or self.crash_at_s is not None
+
 
 class FabricatingNode(ZugChainNode):
     """A backup that injects fabricated requests for a fraction of bus cycles.
@@ -144,6 +155,7 @@ def make_zugchain_node(spec: ByzantineSpec, rng: random.Random, **node_kwargs) -
             tracer=node.tracer,
         )
         node.replica = delaying
+        node.statesync.replica = delaying
         node.layer._propose = delaying.propose
         node.layer._suspect_bft = delaying.suspect
         node.builder._record_checkpoint = delaying.record_checkpoint

@@ -12,7 +12,10 @@ code        invariant
             the same BFT sequence number log the same digest.
 ``OBS002``  **No omission**: a payload logged by a correct node is logged
             by every correct node that demonstrably kept running past the
-            logging point (run-end tails and crashes are not omissions).
+            logging point (run-end tails and crashes are not omissions;
+            a ``req.synced`` backfill via StateSync also satisfies the
+            durability obligation — the node holds the payload in a
+            checkpoint-verified block even though it missed the DECIDE).
 ``OBS003``  **Provenance**: every logged digest was received from the bus
             by at least one node (``bus.rx`` precedes ``req.logged``
             somewhere) — a digest with no reception anywhere was
@@ -150,11 +153,17 @@ def _check_omission(
     tail_slack_s: float,
 ) -> Iterable[OracleFinding]:
     # OBS002: a digest logged by one correct node must be logged by every
-    # correct node that kept producing events past t_log + slack.
+    # correct node that kept producing events past t_log + slack.  A
+    # StateSync backfill (req.synced) counts: the node durably holds the
+    # payload inside a checkpoint-verified block, it just never saw the
+    # DECIDE (message loss, partition, or rejoining after a crash).
     last_event_t = {node: 0.0 for node in correct}
+    synced_by: dict[str, set[str]] = {}
     for event in events:
         if event.node in last_event_t and event.t > last_event_t[event.node]:
             last_event_t[event.node] = event.t
+        if event.name == "req.synced" and isinstance(event.get("digest"), str):
+            synced_by.setdefault(str(event.get("digest")), set()).add(event.node)
     logged_by: dict[str, dict[str, float]] = {}
     seq_of: dict[str, int] = {}
     for event in logged:
@@ -171,6 +180,8 @@ def _check_omission(
         for node in sorted(correct - set(nodes_logged)):
             if last_event_t[node] <= t_log + tail_slack_s:
                 continue  # stopped/crashed near the logging point: a tail
+            if node in synced_by.get(digest, ()):
+                continue  # StateSync backfilled the block holding it
             yield OracleFinding(
                 code="OBS002",
                 message=(

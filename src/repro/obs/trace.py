@@ -26,7 +26,10 @@ name                        emitted when
 ``bft.commit``              an instance reaches the commit quorum
 ``req.logged``              the request is LOGged (end of its span)
 ``bft.viewchange.start``    a replica starts voting for a new view
-``bft.viewchange.end``      a replica enters a new view
+``bft.viewchange.end``      a replica enters a new view (or abandons the
+                            change after proof the old view is live)
+``bft.gap.fetch``           a stalled replica asks a peer for decided instances
+``bft.gap.filled``          a commit certificate fills an execution gap
 ``ckpt.stable``             a checkpoint certificate becomes stable
 ``export.round.start``      a data center begins an export round
 ``export.read_done``        the read phase of an export round completes
@@ -57,8 +60,11 @@ EVENT_TAXONOMY = (
     "bft.prepare",
     "bft.commit",
     "req.logged",
+    "req.synced",
     "bft.viewchange.start",
     "bft.viewchange.end",
+    "bft.gap.fetch",
+    "bft.gap.filled",
     "ckpt.stable",
     "export.round.start",
     "export.read_done",
@@ -66,7 +72,13 @@ EVENT_TAXONOMY = (
     "export.delete_done",
     "export.block_sent",
     "export.block_acked",
+    "export.round.retried",
+    "export.session.resumed",
     "chain.pruned",
+    "chaos.fault.applied",
+    "chaos.fault.cleared",
+    "node.crashed",
+    "node.recovered",
 )
 
 #: Field value types a trace record may carry.  Deliberately scalar-only:

@@ -108,6 +108,7 @@ class EnvTimer:
             return
         self._state = _CANCELLED
         self._env.counters.timers_cancelled += 1
+        self._env._forget_timer(self)
         self._env._transport_cancel(self._transport_handle)
 
     def fire(self) -> None:
@@ -116,6 +117,7 @@ class EnvTimer:
             return
         self._state = _FIRED
         self._env.counters.timers_fired += 1
+        self._env._forget_timer(self)
         self._callback()
 
 
@@ -130,6 +132,11 @@ class BaseEnv:
         #: only the emission funnel and ``run_inbound`` may mutate it
         #: (enforced by zuglint DET008 outside the runtime layer).
         self.causal = CausalClock(node_id)
+        #: Timers armed but not yet fired/cancelled.  Tracked so a fail-stop
+        #: crash can tear down *everything* a dead node incarnation armed
+        #: (``cancel_all_timers``) — a ghost timer firing into discarded
+        #: protocol state would be a liveness bug the real system cannot have.
+        self._active_timers: set[EnvTimer] = set()
 
     @property
     def node_id(self) -> str:
@@ -203,8 +210,24 @@ class BaseEnv:
             raise ProtocolError(f"cannot arm a timer into the past (delay={delay})")
         timer = EnvTimer(self, self.now() + delay, callback)
         self.counters.timers_set += 1
+        self._active_timers.add(timer)
         timer._transport_handle = self._transport_schedule(delay, timer)
         return timer
+
+    def _forget_timer(self, timer: EnvTimer) -> None:
+        self._active_timers.discard(timer)
+
+    def cancel_all_timers(self) -> int:
+        """Cancel every pending timer; returns how many were cancelled.
+
+        Part of fail-stop semantics: when a node crashes, its armed
+        timeouts (view-change escalation, soft/hard forwarding, sync
+        retries) die with it.
+        """
+        pending = list(self._active_timers)
+        for timer in pending:
+            timer.cancel()
+        return len(pending)
 
     def _note_drop(self) -> None:
         """Transports report each undeliverable copy here."""

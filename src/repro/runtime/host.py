@@ -44,7 +44,17 @@ class NodeHost:
         self._model = model
         self.messages_received = 0
         self.inbox_bytes = 0  # messages received but not yet processed
+        #: Incarnation number.  Deferred work (CPU-pipeline closures) captures
+        #: the epoch at enqueue time and is dropped if the node crashed in
+        #: between — a dead incarnation's half-processed inbox must not leak
+        #: into its successor.
+        self.epoch = 0
         network.register(node.id, self._deliver)
+
+    def advance_epoch(self) -> None:
+        """Invalidate all deferred work enqueued for the current incarnation."""
+        self.epoch += 1
+        self.inbox_bytes = 0
 
     def _deliver(self, src: str, message: Any, size: int) -> None:
         self.messages_received += 1
@@ -59,8 +69,11 @@ class NodeHost:
         else:
             cost = recv_cost(message, self._model)
         self.inbox_bytes += size
+        epoch = self.epoch
 
         def _process() -> None:
+            if self.epoch != epoch:
+                return  # the node crashed after delivery; drop silently
             self.inbox_bytes -= size
             env = getattr(self.node, "env", None)
             if env is not None and hasattr(env, "run_inbound"):

@@ -17,7 +17,9 @@ from repro.bus.faults import ReceptionFaultConfig
 from repro.bus.generator import GeneratorConfig, TrainDynamicsGenerator
 from repro.bus.master import BusConfig, MvbMaster
 from repro.bus.nsdb import standard_jru_catalog
+from repro.bft.checkpoint import CheckpointCertificate
 from repro.chain.blockchain import PruneCertificate
+from repro.chain.store import MemoryBlockStore
 from repro.core.baseline import BaselineNode
 from repro.core.layer import ZugChainConfig
 from repro.core.node import ZugChainNode
@@ -143,14 +145,24 @@ class SimulatedCluster:
             pair = self.scheme.derive_keypair(node_id.encode())
             keypairs[node_id] = pair
             self.keystore.register(node_id, pair.public)
+        self._keypairs = keypairs
 
         self.cpus: dict[str, CpuAccount] = {}
         self.nodes: dict[str, object] = {}
         self.hosts: dict[str, NodeHost] = {}
         self.envs: dict[str, SimEnv] = {}
         self.memory_series: dict[str, TimeSeries] = {}
+        #: Per-node durable storage surviving fail-stop crashes (§V-B: the
+        #: blockchain is persisted on disk; here an in-memory byte store).
+        self.stores: dict[str, MemoryBlockStore] = {}
+        #: Every node that was ever fail-stopped — the oracle must excuse
+        #: them even after they recovered (they legitimately missed requests
+        #: while down; StateSync backfills the chain, not the trace).
+        self._ever_crashed: set[str] = set()
+        self.crash_counts: dict[str, int] = {i: 0 for i in self.ids}
+        self.recovery_counts: dict[str, int] = {i: 0 for i in self.ids}
 
-        zug_config = ZugChainConfig(
+        self._zug_config = ZugChainConfig(
             soft_timeout_s=config.soft_timeout_s,
             hard_timeout_s=config.hard_timeout_s,
             checkpoint_interval=config.block_size,
@@ -168,40 +180,14 @@ class SimulatedCluster:
                 # Bind the env's causal clock so this node's events carry
                 # per-node identity and cause edges.
                 self.tracer.bind_clock(node_id, env.causal)
-            spec = config.byzantine.get(node_id, ByzantineSpec())
-            if config.system == "zugchain":
-                from repro.bft.linear import LinearBftReplica
-                from repro.bft.replica import PbftReplica
-
-                replica_cls = LinearBftReplica if config.bft_backend == "linear" else PbftReplica
-                node = make_zugchain_node(
-                    spec,
-                    self.rng.stream(f"byzantine:{node_id}"),
-                    env=env,
-                    bft_config=self.bft_config,
-                    zug_config=zug_config,
-                    keypair=keypairs[node_id],
-                    keystore=self.keystore,
-                    nsdb=self.nsdb,
-                    on_block=self._block_hook(node_id, cpu),
-                    replica_cls=replica_cls,
-                    tracer=self.tracer,
-                )
-            else:
-                node = BaselineNode(
-                    env=env,
-                    bft_config=self.bft_config,
-                    keypair=keypairs[node_id],
-                    keystore=self.keystore,
-                    nsdb=self.nsdb,
-                    on_block=self._block_hook(node_id, cpu),
-                    tracer=self.tracer,
-                )
+            self.stores[node_id] = MemoryBlockStore()
+            node = self._build_node(node_id)
             host = NodeHost(node, self.network, cpu, self.model)
             host.attach_bus(self.master, config.bus_faults.get(node_id))
             self.nodes[node_id] = node
             self.hosts[node_id] = host
             self.memory_series[node_id] = TimeSeries(name=f"{node_id}.memory")
+            spec = config.byzantine.get(node_id, ByzantineSpec())
             crash_at = spec.crash_at_s
             if crash_at is not None:
                 self.kernel.schedule(crash_at, self._crash_hook(node_id))
@@ -210,27 +196,125 @@ class SimulatedCluster:
 
     # -- hooks ---------------------------------------------------------------------
 
+    def _build_node(self, node_id: str):
+        """Construct one node instance (initial build and crash recovery).
+
+        Rebuilds use the same env, CPU account, keypair, and (crucially) the
+        same cached per-node RNG streams, so a recovered node is the same
+        *identity* with fresh in-memory state — exactly what restarting the
+        recorder process on an M-COM would produce.
+        """
+        spec = self.config.byzantine.get(node_id, ByzantineSpec())
+        env = self.envs[node_id]
+        cpu = self.cpus[node_id]
+        if self.config.system == "zugchain":
+            from repro.bft.linear import LinearBftReplica
+            from repro.bft.replica import PbftReplica
+
+            replica_cls = (
+                LinearBftReplica if self.config.bft_backend == "linear" else PbftReplica
+            )
+            return make_zugchain_node(
+                spec,
+                self.rng.stream(f"byzantine:{node_id}"),
+                env=env,
+                bft_config=self.bft_config,
+                zug_config=self._zug_config,
+                keypair=self._keypairs[node_id],
+                keystore=self.keystore,
+                nsdb=self.nsdb,
+                on_block=self._block_hook(node_id, cpu),
+                replica_cls=replica_cls,
+                block_store=self.stores[node_id],
+                tracer=self.tracer,
+            )
+        return BaselineNode(
+            env=env,
+            bft_config=self.bft_config,
+            keypair=self._keypairs[node_id],
+            keystore=self.keystore,
+            nsdb=self.nsdb,
+            on_block=self._block_hook(node_id, cpu),
+            tracer=self.tracer,
+        )
+
     def _block_hook(self, node_id: str, cpu: CpuAccount):
         def on_block(block) -> None:
             # Persisting the block to flash (paper: 5.03 ms for 80 kB blocks).
             cpu.charge_background(self.model.disk_write_cost(block.encoded_size()))
+            # The stable checkpoint certificate is fsynced alongside the
+            # block so a recovering replica can restore its watermarks
+            # without waiting for a full state transfer.
+            node = self.nodes[node_id]
+            replica = getattr(node, "replica", None)
+            store = self.stores.get(node_id)
+            if replica is not None and store is not None:
+                certificate = replica.latest_stable_checkpoint()
+                if certificate is not None:
+                    store.write_checkpoint(certificate.encode())
             self._auto_prune(node_id)
         return on_block
 
     def _crash_hook(self, node_id: str):
         def crash() -> None:
-            self.network.crash(node_id)
-            self.master.set_offline(node_id, True)
+            self.crash_node(node_id)
         return crash
 
     def crash_node(self, node_id: str) -> None:
-        """Fail-stop a node: no network, no bus reception."""
+        """Fail-stop a node: all in-memory state is lost, storage survives.
+
+        Beyond severing the network and bus, this tears down the dead
+        incarnation completely: every armed timer dies with it and deferred
+        CPU-pipeline work from before the crash is invalidated (epoch
+        bump), so nothing the old incarnation scheduled can fire into the
+        replacement built by :meth:`recover_node`.
+        """
         self.network.crash(node_id)
         self.master.set_offline(node_id, True)
+        self.envs[node_id].cancel_all_timers()
+        self.hosts[node_id].advance_epoch()
+        self._ever_crashed.add(node_id)
+        self.crash_counts[node_id] += 1
+        if self.tracer.enabled:
+            self.tracer.emit("node.crashed", self.kernel.now, node_id,
+                             count=self.crash_counts[node_id])
 
     def recover_node(self, node_id: str) -> None:
+        """Restart a crashed node: fresh in-memory state, rehydrated chain.
+
+        The replacement node replays its durable store (blocks appended
+        with full verification, the persisted stable checkpoint fast-
+        forwarding the replica's watermarks) and then rejoins the live
+        protocol — StateSync closes whatever gap accumulated while it was
+        down once f+1 peer checkpoints vouch for the missed progress.
+        """
+        node = self._build_node(node_id)
+        store = self.stores.get(node_id)
+        if store is not None and hasattr(node, "chain"):
+            for block in store.load_all():
+                if block.height == node.chain.height + 1:
+                    node.chain.append(block)
+                    # Replayed requests count as logged for duplicate
+                    # filtering, exactly as on the state-transfer path.
+                    if hasattr(node, "layer"):
+                        for signed in block.requests:
+                            node.layer.on_synced(signed, block.header.last_sn)
+            encoded_cert = store.read_checkpoint()
+            replica = getattr(node, "replica", None)
+            if encoded_cert is not None and replica is not None:
+                certificate = CheckpointCertificate.decode(encoded_cert)
+                if certificate.block_height <= node.chain.height:
+                    replica.fast_forward(certificate)
+        self.nodes[node_id] = node
+        self.hosts[node_id].node = node
         self.network.recover(node_id)
         self.master.set_offline(node_id, False)
+        self.recovery_counts[node_id] += 1
+        if self.tracer.enabled:
+            self.tracer.emit("node.recovered", self.kernel.now, node_id,
+                             count=self.recovery_counts[node_id],
+                             height=getattr(getattr(node, "chain", None),
+                                            "height", 0))
 
     def _auto_prune(self, node_id: str) -> None:
         """Stand-in for a completed export: drop blocks older than the retention window.
@@ -321,6 +405,13 @@ class SimulatedCluster:
                 registry.inc_from(asdict(layer.stats), prefix="layer.")
             registry.gauge("chain.height").set(node.chain.height)
             registry.counter("requests.logged").inc(node.requests_logged)
+            sync = getattr(node, "statesync", None)
+            if sync is not None:
+                registry.counter("sync.completed").inc(sync.syncs_completed)
+                registry.counter("sync.rejected").inc(sync.syncs_rejected)
+                registry.counter("sync.retried").inc(sync.syncs_retried)
+            registry.counter("node.crashes").inc(self.crash_counts[node_id])
+            registry.counter("node.recoveries").inc(self.recovery_counts[node_id])
         return cluster
 
     def aggregate_metrics(self) -> MetricsRegistry:
@@ -378,12 +469,14 @@ class SimulatedCluster:
 
     def faulty_node_ids(self) -> tuple[str, ...]:
         """Nodes the oracle's agreement invariants must not quantify over:
-        configured Byzantine specs, scheduled crashes, and nodes crashed
-        through the network by the time of collection."""
-        faulty = set()
+        configured Byzantine or crash specs, plus every node that was
+        fail-stopped at any point (recovered nodes legitimately missed
+        requests while down — StateSync backfills the chain, not the
+        trace, so omission checks must still excuse them)."""
+        faulty = set(self._ever_crashed)
         for node_id in self.ids:
             spec = self.config.byzantine.get(node_id, ByzantineSpec())
-            if spec.is_byzantine or spec.crash_at_s is not None:
+            if spec.is_faulty:
                 faulty.add(node_id)
             if self.network.is_crashed(node_id):
                 faulty.add(node_id)

@@ -47,6 +47,45 @@ class Timer:
         self._event.cancelled = True
 
 
+class RepeatingTimer:
+    """Handle for a self-rescheduling callback; supports cancellation.
+
+    Link flapping and other periodic fault processes need a timer that
+    re-arms itself after every firing; cancellation must also reach the
+    *next* underlying one-shot event, so the handle re-targets itself each
+    period instead of exposing a single ``_Event``.
+    """
+
+    __slots__ = ("_kernel", "_interval", "_callback", "_timer", "_cancelled")
+
+    def __init__(
+        self, kernel: "Kernel", interval: float, callback: Callable[[], None]
+    ) -> None:
+        if interval <= 0:
+            raise ProtocolError(f"repeating interval must be positive, got {interval}")
+        self._kernel = kernel
+        self._interval = interval
+        self._callback = callback
+        self._cancelled = False
+        self._timer = kernel.schedule(interval, self._fire)
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._timer.cancel()
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        # Re-arm before the callback so a callback that cancels the handle
+        # also kills the event armed here.
+        self._timer = self._kernel.schedule(self._interval, self._fire)
+        self._callback()
+
+
 class Kernel:
     """Virtual-time event loop."""
 
@@ -74,6 +113,12 @@ class Kernel:
         if delay < 0:
             raise ProtocolError(f"cannot schedule into the past (delay={delay})")
         return self.schedule_at(self._now + delay, callback)
+
+    def schedule_repeating(
+        self, interval: float, callback: Callable[[], None]
+    ) -> RepeatingTimer:
+        """Run ``callback`` every ``interval`` seconds until cancelled."""
+        return RepeatingTimer(self, interval, callback)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
         """Run ``callback`` at absolute virtual time ``time``."""

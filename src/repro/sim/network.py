@@ -78,6 +78,11 @@ class Network:
         self.name = name
         self._default_link = default_link or LinkSpec.train_ethernet()
         self._links: dict[tuple[str, str], LinkSpec] = {}
+        # Chaos-layer overrides: consulted before the permanent topology so
+        # fault schedules can degrade links for a window and then restore the
+        # original characteristics exactly.  Keys may use "*" as a wildcard
+        # for either endpoint; the most specific match wins.
+        self._link_overrides: dict[tuple[str, str], LinkSpec] = {}
         self._endpoints: dict[str, Callable[[str, Any, int], None]] = {}
         self._egress_busy_until: dict[str, float] = {}
         self._partitioned: set[frozenset[str]] = set()
@@ -103,8 +108,34 @@ class Network:
         """Override the link characteristics for a directed pair."""
         self._links[(src, dst)] = spec
 
+    def set_link_override(self, src: str, dst: str, spec: LinkSpec) -> None:
+        """Temporarily supersede the link characteristics for a pair.
+
+        Either endpoint may be ``"*"`` to degrade a whole node's ingress or
+        egress (or, with both wild, the entire fabric).  Overrides shadow
+        :meth:`set_link` until :meth:`clear_link_override` removes them,
+        which restores the permanent topology untouched.
+        """
+        self._link_overrides[(src, dst)] = spec
+
+    def clear_link_override(self, src: str, dst: str) -> None:
+        self._link_overrides.pop((src, dst), None)
+
+    def clear_all_link_overrides(self) -> None:
+        self._link_overrides.clear()
+
     def link(self, src: str, dst: str) -> LinkSpec:
+        if self._link_overrides:
+            for key in ((src, dst), (src, "*"), ("*", dst), ("*", "*")):
+                spec = self._link_overrides.get(key)
+                if spec is not None:
+                    return spec
         return self._links.get((src, dst), self._default_link)
+
+    @property
+    def default_link(self) -> LinkSpec:
+        """The fabric-wide baseline link (fault schedules derive from it)."""
+        return self._default_link
 
     def endpoints(self) -> list[str]:
         return sorted(self._endpoints)

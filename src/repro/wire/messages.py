@@ -130,3 +130,28 @@ class SignedRequest:
 
     def encoded_size(self) -> int:
         return len(self.encode())
+
+
+#: Reserved source link marking a no-op filler request.  A new primary uses
+#: these to plug sequence-number holes left by a view change (classic PBFT
+#: assigns "null requests" to gaps so in-order execution never stalls on a
+#: number nobody proposed).  The communication layer drops them on decide:
+#: they consume a sequence number but never reach the blockchain.
+NULL_SOURCE_LINK = "bft/null"
+
+
+def null_request(seq: int) -> Request:
+    """A deterministic no-op request filling sequence number ``seq``.
+
+    The sequence number doubles as the bus-cycle field so each filler has
+    a distinct content digest — identical digests would trip the layer's
+    duplicate-primary detection.
+    """
+    return Request(
+        payload=b"", bus_cycle=seq, recv_timestamp_us=0,
+        source_link=NULL_SOURCE_LINK,
+    )
+
+
+def is_null_request(request: Request) -> bool:
+    return request.source_link == NULL_SOURCE_LINK and not request.payload

@@ -12,6 +12,8 @@ from repro.bft.linear import CommitCert, Vote
 from repro.bft.messages import (
     Checkpoint,
     Commit,
+    DecideFetch,
+    DecideProof,
     NewView,
     PrePrepare,
     Prepare,
@@ -29,6 +31,7 @@ from repro.export.messages import (
     DeleteRequest,
     ReadReply,
     ReadRequest,
+    SessionResume,
 )
 from repro.obs.causal import CausalContext
 from repro.wire.messages import Request, SignedRequest
@@ -62,6 +65,9 @@ WIRE_TAGS = {
     54: DeleteAck,
     55: BlockFetch,
     56: BlockFetchReply,
+    57: SessionResume,
+    58: DecideFetch,
+    59: DecideProof,
     60: CausalContext,
 }
 

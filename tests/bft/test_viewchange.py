@@ -182,3 +182,70 @@ def test_divergent_checkpoint_digests_do_not_stabilize():
     cluster.pump()
     for node_id in cluster.ids:
         assert cluster.replicas[node_id].last_stable_seq == 0
+
+
+def test_lone_suspecter_abandons_on_stable_checkpoint():
+    # A minority suspecter must not stay wedged: once 2f+1 peers sign a
+    # checkpoint past its suspicion point, it abandons the view change and
+    # resumes ordering in the view it never managed to leave.
+    from repro.obs.trace import RecordingTracer
+
+    cluster = BftCluster()
+    victim = cluster.replicas["node-3"]
+    tracer = RecordingTracer()
+    victim.tracer = tracer
+    victim.suspect()
+    cluster.pump()
+    assert victim.in_view_change
+    assert victim.view == 0
+
+    block_hash, digest = b"\x44" * 32, b"\x55" * 32
+    for peer in ("node-0", "node-1", "node-2"):
+        checkpoint = Checkpoint(seq=10, block_height=1, block_hash=block_hash,
+                                state_digest=digest,
+                                replica_id=peer).signed(cluster.keypairs[peer])
+        victim.on_message(peer, checkpoint)
+
+    assert not victim.in_view_change
+    assert victim.stats.view_changes_abandoned == 1
+    assert victim._vc_timer is None
+    ends = [e for e in tracer.iter_events() if e.name == "bft.viewchange.end"]
+    assert len(ends) == 1
+    fields = dict(ends[0].fields)
+    assert fields["abandoned"] is True
+    assert fields["view"] == 0
+    # The pairing oracle sees a closed stall, not a permanent one.
+    from repro.obs.spans import pair_view_changes
+    stalls = pair_view_changes(list(tracer.iter_events()))
+    assert len(stalls) == 1 and stalls[0].ended_at is not None
+
+
+def test_view_change_plugs_unprepared_holes_with_nulls():
+    # Classic PBFT gap rule: a seq nobody prepared is filled with a null
+    # request so later instances keep their sequence numbers.
+    from repro.bft import PrePrepare
+    from repro.wire.messages import is_null_request
+
+    cluster = BftCluster()
+    # Drop the view-0 preprepare for seq 2 to every backup: seq 2 never
+    # prepares anywhere, seqs 1 and 3 decide normally but execution stalls.
+    cluster.delivery_filter = (
+        lambda s, d, m: not (isinstance(m, PrePrepare) and m.seq == 2 and m.view == 0)
+    )
+    for cycle in (1, 2, 3):
+        cluster.replicas["node-0"].propose(cluster.signed_request(cycle))
+    cluster.pump()
+    for node_id in ("node-1", "node-2", "node-3"):
+        assert [seq for seq, _ in cluster.decided[node_id]] == [1]
+
+    cluster.delivery_filter = lambda s, d, m: True
+    for node_id in ("node-1", "node-2", "node-3"):
+        cluster.replicas[node_id].suspect()
+    cluster.pump()
+    for node_id in cluster.ids:
+        assert cluster.replicas[node_id].view == 1
+        seqs = [seq for seq, _ in cluster.decided[node_id]]
+        assert seqs == [1, 2, 3]
+        null_decide = dict(cluster.decided[node_id])[2]
+        assert is_null_request(null_decide.request)
+    assert cluster.all_decided_consistent()

@@ -1,0 +1,91 @@
+"""Campaigns: seeded reproducibility, the oracle gate, and byte-identical replay."""
+
+from random import Random
+
+import pytest
+
+from repro.chaos import (
+    CAMPAIGNS,
+    derive_run_seed,
+    get_campaign,
+    replay_run,
+    run_campaign,
+    run_one,
+)
+from repro.util.errors import ConfigError
+
+
+def test_unknown_campaign_rejected():
+    with pytest.raises(ConfigError):
+        get_campaign("no-such-campaign")
+
+
+def test_run_campaign_needs_at_least_one_run():
+    with pytest.raises(ConfigError):
+        run_campaign("gray-failure", seed=1, runs=0)
+
+
+def test_run_seed_is_stable_and_distinct():
+    assert derive_run_seed("gray-failure", 7, 0) == derive_run_seed("gray-failure", 7, 0)
+    seeds = {
+        derive_run_seed(name, seed, index)
+        for name in CAMPAIGNS
+        for seed in (1, 2)
+        for index in (0, 1)
+    }
+    assert len(seeds) == len(CAMPAIGNS) * 4  # no collisions across the grid
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_generators_are_pure_in_the_rng(name):
+    campaign = CAMPAIGNS[name]
+    run_seed = derive_run_seed(name, 3, 0)
+    first = campaign.generate(Random(run_seed)).canonical()
+    second = campaign.generate(Random(run_seed)).canonical()
+    assert first.schedule_hash() == second.schedule_hash()
+    assert len(first) >= 1
+    other = campaign.generate(Random(run_seed + 1)).canonical()
+    assert other.schedule_hash() != first.schedule_hash()
+
+
+def test_gray_failure_run_passes_and_replays_byte_identically(tmp_path):
+    campaign = get_campaign("gray-failure")
+    trace_a = tmp_path / "a" / "run.trace.jsonl"
+    trace_b = tmp_path / "b" / "run.trace.jsonl"
+    original = run_one(campaign, seed=7, index=0, trace_path=str(trace_a))
+    replayed = replay_run("gray-failure", seed=7, index=0, trace_path=str(trace_b))
+    assert original.passed and original.converged and not original.findings
+    # The replay contract: all four comparable artifacts match.
+    assert replayed.schedule_hash == original.schedule_hash
+    assert replayed.trace_sha256 == original.trace_sha256
+    assert replayed.findings == original.findings
+    assert replayed.head_hashes == original.head_hashes
+    # And the trace files themselves are byte-identical (dirs auto-created).
+    assert trace_a.read_bytes() == trace_b.read_bytes()
+
+
+def test_fabrication_campaign_must_fail_gate():
+    record = run_one(get_campaign("fabrication"), seed=1, index=0)
+    # The inverted gate: the run PASSES because the oracle caught the attack.
+    assert record.findings
+    assert record.passed
+
+
+def test_run_campaign_writes_traces_and_varies_by_index(tmp_path):
+    records = run_campaign("clock-skew", seed=5, runs=2,
+                           trace_dir=str(tmp_path / "traces"))
+    assert [r.index for r in records] == [0, 1]
+    assert records[0].schedule_hash != records[1].schedule_hash
+    for record in records:
+        assert record.passed, record.findings
+        path = tmp_path / "traces" / f"clock-skew-s5-i{record.index}.trace.jsonl"
+        assert path.exists() and path.stat().st_size > 0
+
+
+def test_record_to_dict_is_json_shaped():
+    record = run_one(get_campaign("clock-skew"), seed=2, index=0)
+    data = record.to_dict()
+    assert data["campaign"] == "clock-skew"
+    assert data["schedule_hash"] == record.schedule_hash
+    assert isinstance(data["counters"], dict)
+    assert data["passed"] is True

@@ -1,0 +1,106 @@
+"""ChaosInjector: arming schedules against a live simulated cluster."""
+
+import pytest
+
+from repro.chaos import (
+    BusSkew,
+    ByzantineWindow,
+    ChaosInjector,
+    CrashRecover,
+    FaultSchedule,
+    LinkFlap,
+    LossWindow,
+)
+from repro.faults.behaviors import ByzantineSpec
+from repro.obs.trace import RecordingTracer
+from repro.scenarios import ScenarioConfig, SimulatedCluster
+from repro.util.errors import ConfigError
+
+
+def make_cluster(**kwargs):
+    return SimulatedCluster(ScenarioConfig(system="zugchain", **kwargs))
+
+
+def test_install_is_single_use():
+    cluster = make_cluster()
+    injector = ChaosInjector(cluster, FaultSchedule())
+    injector.install()
+    with pytest.raises(ConfigError):
+        injector.install()
+
+
+def test_unknown_fault_kind_rejected():
+    from repro.chaos.spec import FaultSpec
+
+    injector = ChaosInjector(make_cluster(), FaultSchedule())
+    with pytest.raises(ConfigError):
+        injector._arm(FaultSpec(start_s=0.0))  # no injector for the base class
+
+
+def test_every_window_applies_and_clears():
+    schedule = FaultSchedule(faults=(
+        LossWindow(start_s=0.5, duration_s=0.5, loss_prob=0.05),
+        BusSkew(start_s=1.0, duration_s=0.5, node="node-1", skew_s=0.01),
+    ))
+    cluster = make_cluster()
+    injector = ChaosInjector(cluster, schedule)
+    injector.install()
+    cluster.run(duration_s=4.0)
+    assert injector.faults_applied == 2
+    assert injector.faults_cleared == 2
+
+
+def test_flap_applies_once_per_flap():
+    schedule = FaultSchedule(faults=(
+        LinkFlap(start_s=0.5, duration_s=0.1, src="node-0", dst="node-1",
+                 flaps=3, up_s=0.2),
+    ))
+    cluster = make_cluster()
+    injector = ChaosInjector(cluster, schedule)
+    injector.install()
+    cluster.run(duration_s=3.0)
+    assert injector.faults_applied == 3
+    assert injector.faults_cleared == 3
+
+
+def test_crash_recover_swaps_node_back_in():
+    schedule = FaultSchedule(faults=(
+        CrashRecover(start_s=2.0, duration_s=2.0, node="node-2"),
+    ))
+    cluster = make_cluster()
+    injector = ChaosInjector(cluster, schedule)
+    injector.install()
+    cluster.run(duration_s=10.0)
+    assert injector.faults_applied == 1
+    assert injector.faults_cleared == 1
+    assert not cluster.network.is_crashed("node-2")
+
+
+def test_byzantine_rates_zeroed_outside_window():
+    schedule = FaultSchedule(faults=(
+        ByzantineWindow(start_s=2.0, duration_s=1.0, node="node-0",
+                        fabricate_per_cycle=0.8),
+    ))
+    cluster = make_cluster(byzantine=schedule.byzantine_specs())
+    node = cluster.nodes["node-0"]
+    assert node._fabricate_per_cycle == 0.8  # built hot
+    injector = ChaosInjector(cluster, schedule)
+    injector.install()
+    assert node._fabricate_per_cycle == 0.0  # neutralized until the window
+    cluster.kernel.run_until(2.5)
+    assert node._fabricate_per_cycle == 0.8  # live inside the window
+    cluster.kernel.run_until(3.5)
+    assert node._fabricate_per_cycle == 0.0  # cleared after
+
+
+def test_fault_events_are_traced():
+    tracer = RecordingTracer()
+    schedule = FaultSchedule(faults=(
+        LossWindow(start_s=0.5, duration_s=0.5, loss_prob=0.05),
+    ))
+    cluster = SimulatedCluster(ScenarioConfig(system="zugchain"), tracer=tracer)
+    ChaosInjector(cluster, schedule).install()
+    cluster.run(duration_s=2.0)
+    names = [event.name for event in tracer.iter_events()]
+    assert "chaos.fault.applied" in names
+    assert "chaos.fault.cleared" in names

@@ -1,0 +1,141 @@
+"""The fault DSL: validation, canonical ordering, and hash stability."""
+
+import pytest
+
+from repro.chaos import (
+    BusSkew,
+    ByzantineWindow,
+    CrashRecover,
+    FaultSchedule,
+    LinkDegrade,
+    LinkFlap,
+    LossWindow,
+)
+from repro.util.errors import ConfigError
+
+
+def sample_faults():
+    return (
+        LinkDegrade(start_s=1.0, duration_s=2.0, src="node-0", dst="node-1",
+                    loss_prob=0.1),
+        LossWindow(start_s=0.5, duration_s=1.0, loss_prob=0.2),
+        LinkFlap(start_s=3.0, duration_s=0.25, src="node-2", flaps=2, up_s=0.5),
+        BusSkew(start_s=2.0, duration_s=1.5, node="node-1", skew_s=0.02),
+        CrashRecover(start_s=4.0, duration_s=3.0, node="node-3"),
+        ByzantineWindow(start_s=1.5, duration_s=1.0, node="node-0",
+                        fabricate_per_cycle=0.5),
+    )
+
+
+# -- validation -----------------------------------------------------------------
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ConfigError):
+        LossWindow(start_s=-0.1, duration_s=1.0)
+
+
+def test_nonpositive_duration_rejected():
+    with pytest.raises(ConfigError):
+        LinkDegrade(start_s=0.0, duration_s=0.0)
+    with pytest.raises(ConfigError):
+        CrashRecover(start_s=0.0, duration_s=-1.0, node="node-1")
+
+
+def test_loss_prob_bounds():
+    with pytest.raises(ConfigError):
+        LinkDegrade(start_s=0.0, duration_s=1.0, loss_prob=1.5)
+    with pytest.raises(ConfigError):
+        LossWindow(start_s=0.0, duration_s=1.0, loss_prob=0.0)  # (0, 1]
+
+
+def test_flap_needs_at_least_one_flap_and_up_time():
+    with pytest.raises(ConfigError):
+        LinkFlap(start_s=0.0, duration_s=0.5, flaps=0)
+    with pytest.raises(ConfigError):
+        LinkFlap(start_s=0.0, duration_s=0.5, flaps=1, up_s=0.0)
+
+
+def test_bus_skew_must_be_positive():
+    with pytest.raises(ConfigError):
+        BusSkew(start_s=0.0, duration_s=1.0, skew_s=0.0)
+
+
+def test_byzantine_window_needs_a_behaviour():
+    with pytest.raises(ConfigError):
+        ByzantineWindow(start_s=0.0, duration_s=1.0, node="node-0")
+    with pytest.raises(ConfigError):
+        ByzantineWindow(start_s=0.0, duration_s=1.0, fabricate_per_cycle=2.0)
+
+
+def test_schedule_rejects_non_fault_entries():
+    with pytest.raises(ConfigError):
+        FaultSchedule(faults=("not-a-fault",))
+
+
+# -- windows --------------------------------------------------------------------
+
+
+def test_flap_window_covers_all_flaps():
+    flap = LinkFlap(start_s=1.0, duration_s=0.25, flaps=3, up_s=0.5)
+    assert flap.end_s == pytest.approx(1.0 + 3 * 0.75)
+
+
+def test_horizon_is_latest_clearance():
+    schedule = FaultSchedule(faults=sample_faults())
+    assert schedule.horizon_s == pytest.approx(7.0)  # the crash clears last
+    assert FaultSchedule().horizon_s == 0.0
+
+
+# -- determinism ----------------------------------------------------------------
+
+
+def test_canonical_order_is_start_then_description():
+    schedule = FaultSchedule(faults=sample_faults()).canonical()
+    starts = [fault.start_s for fault in schedule]
+    assert starts == sorted(starts)
+
+
+def test_schedule_hash_is_order_independent():
+    faults = sample_faults()
+    forward = FaultSchedule(faults=faults)
+    backward = FaultSchedule(faults=tuple(reversed(faults)))
+    assert forward.schedule_hash() == backward.schedule_hash()
+
+
+def test_schedule_hash_is_content_sensitive():
+    base = FaultSchedule(faults=sample_faults())
+    tweaked = FaultSchedule(faults=sample_faults()[:-1])
+    assert base.schedule_hash() != tweaked.schedule_hash()
+
+
+def test_describe_round_trips_every_field():
+    fault = LinkDegrade(start_s=1.0, duration_s=2.0, src="node-0",
+                        dst="node-1", loss_prob=0.1)
+    text = fault.describe()
+    assert "LinkDegrade" in text
+    for field_name in ("start_s", "duration_s", "src", "dst", "loss_prob"):
+        assert field_name in text
+
+
+# -- byzantine hosting ----------------------------------------------------------
+
+
+def test_byzantine_specs_fold_maximum_rates():
+    schedule = FaultSchedule(faults=(
+        ByzantineWindow(start_s=1.0, duration_s=1.0, node="node-0",
+                        fabricate_per_cycle=0.2),
+        ByzantineWindow(start_s=3.0, duration_s=1.0, node="node-0",
+                        fabricate_per_cycle=0.6),
+        ByzantineWindow(start_s=2.0, duration_s=1.0, node="node-1",
+                        preprepare_delay_s=0.4),
+    ))
+    specs = schedule.byzantine_specs()
+    assert set(specs) == {"node-0", "node-1"}
+    assert specs["node-0"].fabricate_per_cycle == 0.6
+    assert specs["node-1"].preprepare_delay_s == 0.4
+
+
+def test_non_byzantine_schedule_needs_no_byzantine_nodes():
+    schedule = FaultSchedule(faults=(LossWindow(start_s=0.0, duration_s=1.0),))
+    assert schedule.byzantine_specs() == {}

@@ -298,3 +298,45 @@ def test_filtering_disabled_logs_duplicates_without_suspicion():
     layer.on_decide(signed_by("node-2", req), 2)
     assert len(logged) == 2
     assert bft.suspicions == 0
+
+
+# -- null requests and sync continuity -------------------------------------------------------------
+
+def test_null_decide_dropped_before_logging():
+    # View-change hole fillers must never reach the blockchain: no log
+    # upcall, no dedup entry, just a counter.
+    from repro.wire.messages import null_request
+
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0")
+    null = SignedRequest.create(null_request(7), "node-0", KEYPAIRS["node-0"])
+    layer.on_decide(null, 7)
+    assert logged == []
+    assert layer.stats.nulls_decided == 1
+    assert bft.suspicions == 0
+
+
+def test_on_synced_records_dedup_and_clears_open_request():
+    # Requests adopted inside StateSync blocks count as logged: a later
+    # re-proposal of the same content must be filtered, and any open local
+    # entry for the digest is closed.
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0")
+    req = request()
+    layer.receive(req)
+    assert layer.open_requests == 1
+    synced = signed_by("node-0", req)
+    layer.on_synced(synced, 5)
+    assert layer.open_requests == 0
+    assert not env.active_timers()
+    assert layer.stats.synced_recorded == 1
+    # A decide for the same content now counts as a duplicate.
+    layer.on_decide(signed_by("node-2", req), 9)
+    assert logged == []
+    assert layer.stats.duplicate_decides == 1
+
+
+def test_on_synced_is_idempotent():
+    env, bft, layer, logged = make_layer(node_id="node-1", primary="node-0")
+    synced = signed_by("node-0", request())
+    layer.on_synced(synced, 5)
+    layer.on_synced(synced, 5)
+    assert layer.stats.synced_recorded == 1

@@ -16,6 +16,8 @@ from repro.bft.linear import CommitCert, Vote
 from repro.bft.messages import (
     Checkpoint,
     Commit,
+    DecideFetch,
+    DecideProof,
     NewView,
     PrePrepare,
     Prepare,
@@ -34,6 +36,7 @@ from repro.export.messages import (
     DeleteRequest,
     ReadReply,
     ReadRequest,
+    SessionResume,
 )
 from repro.obs.causal import CausalContext
 from repro.wire import Request, SignedRequest, decode_message, encode_message
@@ -122,6 +125,15 @@ SAMPLES = {
                                  block_hash=b"\x77" * 32).signed(PAIR),
     BlockFetch: lambda: BlockFetch(dc_id="dc-0", first_height=1, last_height=2).signed(DC_PAIR),
     BlockFetchReply: lambda: BlockFetchReply(replica_id="node-0", blocks=(_block(),)).signed(PAIR),
+    SessionResume: lambda: SessionResume(replica_id="node-0", chain_height=2,
+                                         head_hash=b"\x88" * 32, incarnation=1).signed(PAIR),
+    DecideFetch: lambda: DecideFetch(requester_id="node-2", first_seq=3,
+                                     last_seq=7).signed(PAIR),
+    DecideProof: lambda: DecideProof(
+        replica_id="node-0", preprepare=_preprepare(),
+        commits=(Commit(view=0, seq=1, digest=_signed().digest,
+                        replica_id="node-2").signed(PAIR),),
+    ).signed(PAIR),
     CausalContext: lambda: CausalContext(origin="node-0", lamport=3, parent=-1),
 }
 
